@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper; the
+regenerated rows/series are printed (run with ``-s`` to see them) and
+also appended to ``benchmarks/output/results.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a complete
+paper-vs-reproduced record behind.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def report():
+    """Print a block and append it to benchmarks/output/results.txt."""
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    out_path = _OUTPUT_DIR / "results.txt"
+
+    def emit(text: str) -> None:
+        print()
+        print(text)
+        with open(out_path, "a") as fh:
+            fh.write(text + "\n\n")
+
+    return emit

@@ -1,0 +1,36 @@
+"""Figure 4: Converse ping-pong one-way latency to a neighbouring node.
+
+Paper: non-SMP ~2.9 us for <32 B; SMP ~3.3 us; SMP with communication
+threads ~3.7 us; all modes converge for messages >16 KB where the
+network dominates.
+"""
+
+from repro.harness import fig4_internode, format_table
+
+SIZES = (16, 32, 512, 4096, 16384, 65536)
+PAPER_SMALL = {"non-SMP": 2.9, "SMP": 3.3, "SMP+commthread": 3.7}
+
+
+def test_fig4_pingpong_internode(benchmark, report):
+    data = benchmark.pedantic(
+        lambda: fig4_internode(sizes=SIZES, trips=6), rounds=1, iterations=1
+    )
+    rows = []
+    for size in SIZES:
+        rows.append([size] + [round(data[m][size], 2) for m in data])
+    report(
+        format_table(
+            ["bytes"] + list(data), rows,
+            title="Fig. 4: one-way inter-node latency (us), DES",
+        )
+        + f"\npaper small-message anchors: {PAPER_SMALL}"
+    )
+    # Shape: mode ordering for small messages...
+    small = {m: data[m][16] for m in data}
+    assert small["non-SMP"] < small["SMP"] < small["SMP+commthread"]
+    # ...absolute small-message latencies in the paper's regime...
+    for mode, target in PAPER_SMALL.items():
+        assert 0.5 * target < small[mode] < 2.0 * target
+    # ...and convergence at large sizes (network-bound).
+    big = [data[m][65536] for m in data]
+    assert max(big) / min(big) < 1.10

@@ -1,0 +1,34 @@
+"""Figure 5: ping-pong latency within one BG/Q node.
+
+Paper: between threads of one Charm++ SMP process the one-way latency
+is ~1.1 us (1.3 us with comm threads) and does not change with message
+size — only pointers are exchanged.  Between processes on the same
+node the message crosses the MU (loopback), so it behaves like a
+network message.
+"""
+
+from repro.harness import fig5_intranode, format_table
+
+SIZES = (16, 512, 8192, 131072)
+
+
+def test_fig5_pingpong_intranode(benchmark, report):
+    data = benchmark.pedantic(
+        lambda: fig5_intranode(sizes=SIZES, trips=6), rounds=1, iterations=1
+    )
+    rows = [[s] + [round(data[m][s], 2) for m in data] for s in SIZES]
+    report(
+        format_table(
+            ["bytes"] + list(data), rows,
+            title="Fig. 5: one-way intra-node latency (us), DES",
+        )
+        + "\npaper: SMP pointer exchange ~1.1 us, size-independent"
+    )
+    # SMP pointer exchange: ~1.1 us and size-independent.
+    smp = data["smp"]
+    assert 0.6 < smp[16] < 1.7
+    assert abs(smp[131072] - smp[16]) / smp[16] < 0.05
+    # Cross-process messages grow with size and are far slower.
+    proc = data["processes"]
+    assert proc[131072] > 4 * proc[16]
+    assert proc[16] > 2 * smp[16]

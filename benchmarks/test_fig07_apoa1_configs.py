@@ -1,0 +1,34 @@
+"""Figure 7: ApoA1 step time under three thread configurations.
+
+Paper: with 64 worker threads per node the application wins while it is
+compute bound (small node counts); once communication bound, the
+configurations with dedicated communication threads take over.
+"""
+
+from repro.harness import fig7_configurations, format_table
+
+NODES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def test_fig7_configurations(benchmark, report):
+    data = benchmark.pedantic(
+        lambda: fig7_configurations(NODES), rounds=1, iterations=1
+    )
+    labels = list(data)
+    rows = [[n] + [round(data[l][n], 1) for l in labels] for n in NODES]
+    report(
+        format_table(
+            ["nodes"] + labels, rows,
+            title="Fig. 7: ApoA1 us/step, three configurations (model)",
+        )
+        + "\npaper: 64 threads best when compute bound; comm threads best at scale"
+    )
+    full = "1p x 64w+0c"
+    offload = "1p x 32w+8c"
+    # Compute-bound regime: all-worker config wins.
+    assert data[full][16] < data[offload][16]
+    # Communication-bound regime: comm-thread config wins.
+    assert data[offload][4096] < data[full][4096]
+    # There is a crossover strictly inside the sweep.
+    crossover = [n for n in NODES if data[offload][n] < data[full][n]]
+    assert crossover and crossover[0] not in (NODES[0], NODES[-1])

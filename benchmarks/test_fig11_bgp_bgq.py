@@ -1,0 +1,40 @@
+"""Figure 11: ApoA1 (PME every 4 steps) on BG/P vs BG/Q.
+
+Paper: best BG/Q timestep 683 us at 4096 nodes (and 782 us with PME
+every step); the best configuration shifts from all-64-threads to
+32w+8c and then fewer workers as the node count grows; BG/Q beats BG/P
+at every node count.
+"""
+
+from repro.harness import apoa1_pme_every_step, fig11_bgp_vs_bgq, format_table
+
+NODES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def test_fig11_bgp_vs_bgq(benchmark, report):
+    data = benchmark.pedantic(lambda: fig11_bgp_vs_bgq(NODES), rounds=1, iterations=1)
+    rows = [
+        [n, round(data["bgp"][n]), round(data["bgq"][n]), data["bgq_config"][n]]
+        for n in NODES
+    ]
+    t_pme1 = apoa1_pme_every_step(4096)
+    report(
+        format_table(
+            ["nodes", "BG/P us", "BG/Q us", "BG/Q best config"],
+            rows,
+            title="Fig. 11: ApoA1 scaling, BG/P vs BG/Q (model)",
+        )
+        + f"\nBG/Q @4096, PME every step: {t_pme1:.0f} us (paper: 782)"
+        + "\npaper anchors: BG/Q 1090 us @1024, 683 us @4096"
+    )
+    # BG/Q wins everywhere, by a lot.
+    for n in NODES:
+        assert data["bgq"][n] < data["bgp"][n] / 3
+    # Both curves scale monotonically.
+    bgq = [data["bgq"][n] for n in NODES]
+    assert bgq == sorted(bgq, reverse=True)
+    # The paper's headline numbers, within 25%.
+    assert abs(data["bgq"][4096] - 683) / 683 < 0.25
+    assert abs(data["bgq"][1024] - 1090) / 1090 < 0.25
+    # PME every step costs more than PME every 4 steps but stays <2x.
+    assert data["bgq"][4096] < t_pme1 < 2 * data["bgq"][4096]

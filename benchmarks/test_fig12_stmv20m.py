@@ -1,0 +1,29 @@
+"""Figure 12: 20M-atom STMV scaling with PME every 4 steps.
+
+Paper: the CmiDirectManytomany PME lets the 20M-atom system scale to
+16,384 BG/Q nodes at 5.8 ms/step.
+"""
+
+from repro.harness import fig12_stmv20m, format_table
+
+NODES = (1024, 2048, 4096, 8192, 16384)
+
+
+def test_fig12_stmv20m(benchmark, report):
+    data = benchmark.pedantic(lambda: fig12_stmv20m(NODES), rounds=1, iterations=1)
+    rows = [[n, round(data[n], 2)] for n in NODES]
+    report(
+        format_table(
+            ["nodes", "ms/step"], rows,
+            title="Fig. 12: STMV 20M, PME every 4 steps (model)",
+        )
+        + "\npaper: 5.8 ms/step at 16,384 nodes"
+    )
+    times = [data[n] for n in NODES]
+    # Scales all the way to 16,384 nodes (no flattening reversal).
+    assert times == sorted(times, reverse=True)
+    # Keeps improving substantially from 8192 to 16384 nodes.
+    assert data[16384] < 0.75 * data[8192]
+    # Millisecond regime at 16,384 nodes (paper: 5.8 ms; model is within
+    # a small factor and documented in EXPERIMENTS.md).
+    assert 1.0 < data[16384] < 12.0

@@ -1,0 +1,27 @@
+"""Table II: 100M-atom STMV step times, PME every 4 steps.
+
+Paper: 98.8 / 55.4 / 30.3 / 17.9 ms/step at 2048 / 4096 / 8192 / 16384
+nodes (speedups normalized to parallel efficiency 1 at 2048 nodes).
+"""
+
+from repro.harness import PAPER_TABLE2, table2_stmv100m
+from repro.namd.system import STMV100M
+from repro.perfmodel import NamdRunConfig, namd_step_time
+
+
+def test_table2_stmv100m(benchmark, report):
+    report(benchmark.pedantic(table2_stmv100m, rounds=1, iterations=1))
+    model = {}
+    for nodes, (_c, _p, threads, paper_ms, _s) in PAPER_TABLE2.items():
+        t = namd_step_time(
+            STMV100M,
+            nodes,
+            NamdRunConfig(workers=threads - 8, comm_threads=8, nonbonded_every=2),
+        )
+        model[nodes] = t * 1e3
+        # Every row within 2x of the paper.
+        assert 0.5 < model[nodes] / paper_ms < 2.0
+    # Monotone scaling with the paper's efficiency character:
+    # 8x more nodes buys between 4x and 8x.
+    ratio = model[2048] / model[16384]
+    assert 4.0 < ratio < 8.0

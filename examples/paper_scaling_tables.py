@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling tables and figure series from the
+calibrated analytic models (Figs. 7/11/12, Tables I/II).
+
+Run:  python examples/paper_scaling_tables.py
+"""
+
+from repro.harness import (
+    apoa1_pme_every_step,
+    fig7_configurations,
+    fig8_l2_atomics,
+    fig11_bgp_vs_bgq,
+    fig12_stmv20m,
+    format_table,
+    table1_report,
+    table2_stmv100m,
+)
+
+
+def main() -> None:
+    print(table1_report())
+    print()
+
+    data = fig7_configurations((64, 256, 1024, 4096))
+    labels = list(data)
+    rows = [[n] + [round(data[l][n]) for l in labels] for n in (64, 256, 1024, 4096)]
+    print(format_table(["nodes"] + labels, rows,
+                       title="Fig. 7: ApoA1 us/step by configuration"))
+    print()
+
+    f8 = fig8_l2_atomics(512)
+    rows = [[k, round(v["l2"]), round(v["mutex"]), f"{v['speedup']:.2f}x"]
+            for k, v in f8.items()]
+    print(format_table(["config", "L2 atomics", "mutex", "speedup"], rows,
+                       title="Fig. 8: ApoA1 @512 nodes (paper: 67% at 1 ppn)"))
+    print()
+
+    f11 = fig11_bgp_vs_bgq()
+    rows = [[n, round(f11["bgp"][n]), round(f11["bgq"][n]), f11["bgq_config"][n]]
+            for n in sorted(f11["bgq"])]
+    print(format_table(["nodes", "BG/P us", "BG/Q us", "best config"], rows,
+                       title="Fig. 11: ApoA1, BG/P vs BG/Q"))
+    print(f"BG/Q @4096 with PME every step: {apoa1_pme_every_step():.0f} us "
+          "(paper: 782)")
+    print()
+
+    f12 = fig12_stmv20m()
+    print(format_table(["nodes", "ms/step"],
+                       [[n, round(v, 2)] for n, v in f12.items()],
+                       title="Fig. 12: STMV 20M (paper: 5.8 ms @16384)"))
+    print()
+
+    print(table2_stmv100m())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Runtime features tour: priorities, sections, quiescence, balancing.
+
+Shows the Charm++ machinery beyond plain sends:
+
+* prioritized entry methods overtaking a backlog,
+* section multicast over a PE spanning tree,
+* quiescence detection over an active message storm,
+* measured chare loads feeding the greedy load balancer.
+
+Run:  python examples/runtime_features.py
+"""
+
+from repro.bgq.params import CYCLES_PER_US
+from repro.charm import Chare, Charm, greedy_rebalance
+from repro.converse import RunConfig
+from repro.converse.quiescence import QuiescenceDetector
+
+
+def main() -> None:
+    charm = Charm(RunConfig(nnodes=2, workers_per_process=4))
+    order = []
+
+    class Worker(Chare):
+        def __init__(self, idx):
+            self.notes = []
+
+        def work(self, tag, amount):
+            order.append(tag)
+            yield from self.charge(amount)
+
+        def note(self, text):
+            self.notes.append(text)
+
+    workers = charm.create_array("w", Worker, range(8))
+
+    class Driver(Chare):
+        def __init__(self, idx):
+            pass
+
+        def go(self):
+            # Backlog on element 0, then an urgent message jumps the queue.
+            yield from self.send_to(workers, 0, "work", 64, "head", 200_000)
+            for i in range(4):
+                yield from workers.send_from(
+                    self._pe, 0, "work", 64, f"bulk{i}", 150_000, priority=10
+                )
+            yield from workers.send_from(
+                self._pe, 0, "work", 64, "URGENT", 50_000, priority=-5
+            )
+            # Section multicast to the even elements.
+            section = charm.create_section(workers, [0, 2, 4, 6])
+            yield from section.multicast_from(self._pe, "note", 64, "even-team")
+
+    drv = charm.create_array("drv", Driver, [0])
+    drv.home[0] = charm.npes - 1  # drive from the last PE
+    drv.element(0)._pe = charm.runtime.pes[charm.npes - 1]
+    charm.seed(drv, 0, "go")
+
+    qd = QuiescenceDetector(charm.runtime)
+    done = qd.start()
+    charm.start()
+    t_quiet = charm.env.run(until=done)
+    charm.runtime.stop()
+
+    print("execution order on the congested PE:", order)
+    assert order.index("URGENT") < order.index("bulk3")
+    print(f"quiescence declared at {t_quiet / CYCLES_PER_US:.1f} us "
+          f"({qd.rounds} detector rounds)")
+    noted = [i for i in range(8) if workers.element(i).notes]
+    print("section multicast reached elements:", noted)
+
+    loads = charm.measured_loads(workers)
+    print("measured chare loads (cycles):",
+          {i: round(l) for i, l in loads if l > 0})
+    assignment = greedy_rebalance(loads, npes=charm.npes)
+    print("greedy rebalance proposal:", assignment)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so `pip install -e .` (PEP 660) cannot build an editable wheel.
+`python setup.py develop` provides the equivalent editable install."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Reduced Blue Gene/P machine model (the Fig. 11 comparison baseline).
+
+BG/P: 4 PowerPC 450 cores at 850 MHz per node, 3D torus at 425 MB/s per
+link, DMA-based messaging.  Only the step-time model needed for the
+ApoA1 comparison curve is provided; see
+:func:`repro.perfmodel.bgp_step_time`.
+"""
+
+from ..perfmodel.machine import BGP, BGPParams
+from ..perfmodel.namdmodel import bgp_step_time
+
+__all__ = ["BGP", "BGPParams", "bgp_step_time"]

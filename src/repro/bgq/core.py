@@ -1,0 +1,170 @@
+"""A2 core model: 4-way SMT with shared issue resources (§II).
+
+The A2 core runs four hardware threads.  Each thread can issue at most
+one instruction per cycle; the core can issue two per cycle in aggregate
+(one fixed-point + one floating-point), so "to fully saturate the core's
+resources, at least two threads per core must be used" [paper].  Because
+the core is in-order, a single thread sustains well below 1 IPC (load-use
+stalls); co-resident threads hide each other's stalls but contend for the
+tiny shared 16 KB L1.  The paper measured a 2.3x speedup for 4 threads
+vs 1 on a core in the NAMD kernel, and the model is calibrated to that.
+
+The model is *weighted processor sharing*:
+
+* every activity on a core registers as a member with a weight —
+  ``1.0`` for real computation or a naive spin loop, ``~1/60`` for the
+  optimized idle poll that stalls on an L2 atomic load (§III-D), ``0``
+  for a thread in the ``wait`` state (consumes nothing [paper §II]);
+* with effective weighted occupancy ``n_eff = sum(w_i)``, per-unit-weight
+  throughput is ``base_ipc / (1 + (n_eff - 1) * smt_interference)``;
+* a member's rate is additionally capped by the per-thread issue limit
+  and the core's aggregate issue width.
+
+Rates are recomputed whenever membership changes, so an idle thread
+entering its poll loop immediately speeds up its neighbours.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..sim import Environment, Event
+from .params import BGQParams, DEFAULT_PARAMS
+
+__all__ = ["Core", "CoreMember"]
+
+_EPS = 1e-9
+
+
+class CoreMember:
+    """One registered activity (compute job or occupant) on a core."""
+
+    __slots__ = ("id", "weight")
+
+    def __init__(self, member_id: int, weight: float) -> None:
+        self.id = member_id
+        self.weight = weight
+
+
+class Core:
+    """One A2 core: a weighted-processor-sharing issue resource."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        core_id: int = 0,
+        params: BGQParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.env = env
+        self.core_id = core_id
+        self.params = params
+        self._members: Dict[int, CoreMember] = {}
+        self._change: Event = env.event()
+        self.instructions_retired = 0.0
+
+    # -- membership -----------------------------------------------------
+    @property
+    def occupancy(self) -> float:
+        """Current effective weighted occupancy n_eff."""
+        return sum(m.weight for m in self._members.values())
+
+    @property
+    def n_members(self) -> int:
+        return len(self._members)
+
+    def register(self, weight: float = 1.0) -> CoreMember:
+        """Add an occupant (idle spinner, busy-wait) with given weight."""
+        if weight < 0:
+            raise ValueError("member weight must be >= 0")
+        m = CoreMember(next(self._ids), weight)
+        self._members[m.id] = m
+        self._notify_change()
+        return m
+
+    def unregister(self, member: CoreMember) -> None:
+        if self._members.pop(member.id, None) is not None:
+            self._notify_change()
+
+    def set_weight(self, member: CoreMember, weight: float) -> None:
+        """Change an occupant's weight (e.g. idle poll -> wait state)."""
+        if member.id not in self._members:
+            raise KeyError("member not registered on this core")
+        if member.weight != weight:
+            member.weight = weight
+            self._notify_change()
+
+    def _notify_change(self) -> None:
+        old, self._change = self._change, self.env.event()
+        old.succeed()
+
+    # -- rate model -------------------------------------------------------
+    def rate_of(self, member: CoreMember) -> float:
+        """Instructions/cycle this member currently receives."""
+        p = self.params
+        n_eff = self.occupancy
+        if member.weight <= 0:
+            return 0.0
+        per_unit = p.base_ipc / (1.0 + max(0.0, n_eff - 1.0) * p.smt_interference)
+        rate = member.weight * per_unit
+        rate = min(rate, p.thread_issue_cap * min(1.0, member.weight))
+        # Aggregate issue-width cap, shared proportionally to weight.
+        total = sum(
+            min(m.weight * per_unit, p.thread_issue_cap * min(1.0, m.weight))
+            for m in self._members.values()
+        )
+        if total > p.core_issue_width:
+            rate *= p.core_issue_width / total
+        return rate
+
+    # -- work execution --------------------------------------------------
+    def compute(self, instructions: float, weight: float = 1.0):
+        """Run ``instructions`` of work; generator-style.
+
+        Duration depends on who else occupies the core while the work
+        runs; rates are re-evaluated at every membership change.
+        """
+        if instructions < 0:
+            raise ValueError("instruction count must be >= 0")
+        if instructions == 0:
+            return 0.0
+        env = self.env
+        member = self.register(weight)
+        started = env.now
+        remaining = float(instructions)
+        try:
+            while remaining > _EPS:
+                rate = self.rate_of(member)
+                if rate <= 0:
+                    # Weight zero: just wait for a membership change.
+                    yield self._change
+                    continue
+                t_done = remaining / rate
+                if env.now + t_done == env.now:
+                    # Residual work below the clock's float resolution:
+                    # it cannot advance simulated time — call it done
+                    # (guards against a zero-advance spin).
+                    break
+                change = self._change
+                t0 = env.now
+                yield env.any_of([env.timeout(t_done), change])
+                remaining -= (env.now - t0) * rate
+        finally:
+            self.unregister(member)
+        self.instructions_retired += instructions
+        return env.now - started
+
+    def occupy(self, weight: float):
+        """Context-manager-like occupant registration.
+
+        Use as::
+
+            member = core.register(weight)   # occupy
+            ...                              # spin/poll
+            core.unregister(member)          # release
+
+        Provided as a helper for call sites that want explicit control.
+        """
+        return self.register(weight)

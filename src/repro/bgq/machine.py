@@ -1,0 +1,57 @@
+"""A whole simulated BG/Q partition: nodes wired to a torus network."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim import Environment
+from .network import Packet, TorusNetwork
+from .node import Node
+from .params import BGQParams, DEFAULT_PARAMS
+from .torus import Torus, bgq_partition_shape
+
+__all__ = ["BGQMachine"]
+
+
+class BGQMachine:
+    """``nnodes`` BG/Q nodes on a 5D torus partition.
+
+    This is the hardware substrate the runtime stack is built over.  A
+    packet injected by any node's MU is routed by the shared
+    :class:`TorusNetwork` and delivered to the destination node's MU.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nnodes: int,
+        params: BGQParams = DEFAULT_PARAMS,
+        shape: Optional[Sequence[int]] = None,
+        routing: str = "deterministic",
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.torus = Torus(shape if shape is not None else bgq_partition_shape(nnodes))
+        if self.torus.nnodes != nnodes:
+            raise ValueError(
+                f"shape {self.torus.shape} has {self.torus.nnodes} nodes, "
+                f"expected {nnodes}"
+            )
+        self.network = TorusNetwork(
+            env, self.torus, params, deliver=self._deliver, routing=routing
+        )
+        self.nodes: List[Node] = []
+        for i in range(nnodes):
+            node = Node(env, node_id=i, params=params)
+            node.mu.network = self.network
+            self.nodes.append(node)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.nodes[packet.dst].mu.receive_packet(packet)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,157 @@
+"""Link-level torus network model (§II-A).
+
+Each torus link sends and receives simultaneously at 2 GB/s raw; packet
+header overhead (32 of every 544 bytes) caps achievable payload
+throughput at ~1.8 GB/s [paper].  Routing is deterministic
+dimension-ordered (see :class:`~repro.bgq.torus.Torus`).
+
+Packets use *cut-through* switching: a packet occupies each link on its
+route for its serialization time, with reservations pipelined one hop
+latency apart.  We model each directed link as a busy-until timeline
+(no per-byte events), which captures both serialization and link
+contention at a cost of O(hops) per packet — cheap enough to simulate
+the node counts the DES benchmarks use, while the analytic
+:mod:`repro.perfmodel` covers the paper's largest runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..sim import Environment, Event
+from .params import BGQParams, DEFAULT_PARAMS
+from .torus import Torus
+
+__all__ = ["Packet", "TorusNetwork", "MEMFIFO", "RGET_REQUEST", "RDMA_DATA"]
+
+# Packet kinds
+MEMFIFO = "memfifo"  # delivered into a reception FIFO, software-processed
+RGET_REQUEST = "rget-request"  # remote-read request, handled by remote MU
+RDMA_DATA = "rdma-data"  # RDMA payload, written directly to memory
+
+
+@dataclass
+class Packet:
+    """One torus packet (up to 512 B payload + 32 B header)."""
+
+    src: int
+    dst: int
+    kind: str
+    payload_bytes: int
+    #: Reception FIFO id at the destination (memfifo packets).
+    rec_fifo: int = 0
+    #: Opaque message context carried through the network.
+    message: object = None
+    #: Index of this packet within its message, and whether it is last.
+    seq: int = 0
+    is_last: bool = True
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes  # header accounted via effective bandwidth
+
+
+class TorusNetwork:
+    """The torus interconnect: routes packets, models link contention.
+
+    ``deliver`` is the callback invoked (at the arrival time) with each
+    packet at its destination; the machine wires it to the destination
+    node's messaging unit.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        torus: Torus,
+        params: BGQParams = DEFAULT_PARAMS,
+        deliver: Optional[Callable[[Packet], None]] = None,
+        routing: str = "deterministic",
+    ) -> None:
+        if routing not in ("deterministic", "adaptive"):
+            raise ValueError(f"unknown routing mode {routing!r}")
+        self.env = env
+        self.torus = torus
+        self.params = params
+        self.deliver = deliver
+        #: "deterministic" = fixed dimension order (BG/Q default);
+        #: "adaptive" = per-packet dimension-order permutation (a model
+        #: of BG/Q's dynamic routing — spreads all-to-all traffic over
+        #: more links).  The permutation is a deterministic hash of the
+        #: packet count so simulations stay reproducible.
+        self.routing = routing
+        #: busy-until time per directed link
+        self._link_free: Dict[Tuple[int, int], float] = {}
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    def _dim_order(self) -> Optional[list]:
+        if self.routing == "deterministic":
+            return None
+        ndim = self.torus.ndim
+        order = list(range(ndim))
+        # Cheap deterministic shuffle keyed by the packet counter.
+        h = self.packets_sent * 2654435761 % (2**32)
+        for i in range(ndim - 1, 0, -1):
+            j = h % (i + 1)
+            order[i], order[j] = order[j], order[i]
+            h //= i + 1
+        return order
+
+    def _serialization(self, packet: Packet) -> float:
+        """Cycles to stream a packet across one link."""
+        p = self.params
+        wire = packet.payload_bytes + p.packet_header_bytes
+        return wire / (p.link_bandwidth / 1.6e9)  # raw link rate, cycles
+
+    def inject(self, packet: Packet) -> Event:
+        """Send a packet; the returned event fires on arrival at dst.
+
+        Must be called at the moment the MU puts the packet on the wire.
+        """
+        env = self.env
+        done = env.event()
+        self.packets_sent += 1
+        self.bytes_sent += packet.payload_bytes
+        if packet.src == packet.dst:
+            # MU loopback (sends between processes on one node, or to
+            # self): no torus links, just the MU ingress/egress path.
+            def loop():
+                yield env.timeout(self.params.nic_latency)
+                if self.deliver is not None:
+                    self.deliver(packet)
+                done.succeed(packet)
+
+            env.process(loop(), name=f"pkt-loopback-{packet.src}")
+            return done
+
+        route = self.torus.route(packet.src, packet.dst, dim_order=self._dim_order())
+        ser = self._serialization(packet)
+        p = self.params
+        # Cut-through reservation: the head advances one hop_latency per
+        # link; each link is busy for the serialization time starting
+        # when the head reaches it (or when the link frees, if later —
+        # upstream then stalls, which we conservatively roll into the
+        # arrival time).
+        t_head = env.now + p.nic_latency
+        stall = 0.0
+        for link in route:
+            free_at = self._link_free.get(link, 0.0)
+            start = max(t_head, free_at)
+            stall += start - t_head
+            self._link_free[link] = start + ser
+            t_head = start + p.hop_latency
+        arrival = t_head + ser
+
+        def fly():
+            yield env.timeout(arrival - env.now)
+            if self.deliver is not None:
+                self.deliver(packet)
+            done.succeed(packet)
+
+        env.process(fly(), name=f"pkt-{packet.src}->{packet.dst}")
+        return done
+
+    def link_utilization(self) -> Dict[Tuple[int, int], float]:
+        """Busy-until horizon per link (diagnostics)."""
+        return dict(self._link_free)

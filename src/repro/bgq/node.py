@@ -1,0 +1,92 @@
+"""One BG/Q compute node: cores, hardware threads, L2, MU, allocator."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment
+from .core import Core
+from .l2 import L2AtomicUnit
+from .memory import ArenaAllocator
+from .mu import MessagingUnit
+from .params import BGQParams, DEFAULT_PARAMS
+from .wakeup import WakeupSource
+
+__all__ = ["HWThread", "Node"]
+
+
+class HWThread:
+    """One of the 64 hardware threads of a node.
+
+    Runtime code runs *on* a hardware thread: all software path lengths
+    are charged through :meth:`compute` so that SMT sharing on the
+    owning core applies, and :meth:`wait_on` models the PowerPC ``wait``
+    instruction (zero core occupancy until a wakeup-unit interrupt).
+    """
+
+    def __init__(self, env: Environment, node: "Node", core: Core, slot: int, tid: int) -> None:
+        self.env = env
+        self.node = node
+        self.core = core
+        self.slot = slot  # 0..3 within the core
+        self.tid = tid  # 0..63 within the node
+        self.instructions = 0.0
+
+    def compute(self, instructions: float, weight: float = 1.0):
+        """Execute ``instructions`` on this thread's core (generator)."""
+        self.instructions += instructions
+        result = yield from self.core.compute(instructions, weight=weight)
+        return result
+
+    def wait_on(self, source: WakeupSource):
+        """Enter the ``wait`` state until the wakeup source fires.
+
+        While waiting the thread consumes no core resources [paper §II]:
+        no core member is registered at all.
+        """
+        ev = source.arm()
+        yield ev
+
+    def spin(self, duration: float, weight: float):
+        """Occupy the core at ``weight`` for a fixed duration (poll loop)."""
+        member = self.core.register(weight)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.core.unregister(member)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HWThread node={self.node.node_id} tid={self.tid}>"
+
+
+class Node:
+    """A BG/Q compute node: 16 A2 cores x 4 threads + L2 + MU + heap."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int = 0,
+        params: BGQParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.params = params
+        self.cores: List[Core] = [
+            Core(env, core_id=i, params=params) for i in range(params.cores_per_node)
+        ]
+        self.threads: List[HWThread] = []
+        tid = 0
+        for core in self.cores:
+            for slot in range(params.threads_per_core):
+                self.threads.append(HWThread(env, self, core, slot, tid))
+                tid += 1
+        self.l2 = L2AtomicUnit(env, params)
+        self.mu = MessagingUnit(env, node_id, params)
+        self.arena_allocator = ArenaAllocator(env, params)
+
+    def thread(self, tid: int) -> HWThread:
+        return self.threads[tid]
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)

@@ -1,0 +1,27 @@
+"""Charm++-like message-driven programming model over the Converse layer."""
+
+from .chare import Chare, ChareArray
+from .group import Group
+from .loadbalancer import (
+    blocked_map,
+    greedy_rebalance,
+    node_aware_map,
+    round_robin_map,
+)
+from .reduction import REDUCERS, ReductionManager
+from .runtime import Charm
+from .section import Section
+
+__all__ = [
+    "Chare",
+    "ChareArray",
+    "Charm",
+    "Group",
+    "REDUCERS",
+    "ReductionManager",
+    "Section",
+    "blocked_map",
+    "greedy_rebalance",
+    "node_aware_map",
+    "round_robin_map",
+]

@@ -1,0 +1,159 @@
+"""Chares and chare arrays: the Charm++ programming model.
+
+Application computation lives in C++-object-like *chares* grouped into
+indexed *chare arrays*; the runtime maps elements to PEs (the load
+balancer's job, relieving the programmer of processor mapping) and
+entry-method invocations travel as asynchronous messages.  Within an
+SMP process an invocation is a pointer exchange; across processes it is
+packed and sent through the machine layer.
+
+Entry methods here are ordinary Python methods; a method may be a
+generator, in which case the yields are simulation events (typically
+``self.charge(instr)`` for compute time or nested sends).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Charm
+
+__all__ = ["Chare", "ChareArray"]
+
+
+class Chare:
+    """Base class for application chares.
+
+    Subclasses define entry methods; the runtime injects ``_array``,
+    ``_index`` and ``_pe`` when the element is created.
+    """
+
+    _array: "ChareArray"
+    _index: Hashable
+    _pe: Any  # converse PE
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def thisIndex(self) -> Hashable:
+        return self._index
+
+    @property
+    def pe_rank(self) -> int:
+        return self._pe.rank
+
+    @property
+    def charm(self) -> "Charm":
+        return self._array.charm
+
+    @property
+    def env(self):
+        return self._array.charm.env
+
+    # -- actions usable inside entry methods ---------------------------------
+    def charge(self, instructions: float):
+        """Consume compute time on this chare's PE (generator)."""
+        result = yield from self._pe.thread.compute(instructions)
+        return result
+
+    def send(self, index: Hashable, method: str, nbytes: int, *args: Any):
+        """Invoke ``method(*args)`` on element ``index`` of this array."""
+        yield from self._array.send_from(self._pe, index, method, nbytes, *args)
+
+    def send_prioritized(
+        self, index: Hashable, method: str, nbytes: int, priority: int, *args: Any
+    ):
+        """Invoke an entry method with a Charm++-style priority
+        (smaller values run first on the destination PE)."""
+        yield from self._array.send_from(
+            self._pe, index, method, nbytes, *args, priority=priority
+        )
+
+    def send_to(
+        self, array: "ChareArray", index: Hashable, method: str, nbytes: int, *args: Any
+    ):
+        """Invoke an entry method on an element of another array."""
+        yield from array.send_from(self._pe, index, method, nbytes, *args)
+
+    def contribute(self, value: Any, op: str, tag: Hashable, target) -> Any:
+        """Contribute to a reduction over this array (generator).
+
+        ``target`` is ``(array, index, method)`` or a plain callable
+        invoked at the root PE.
+        """
+        yield from self.charm.reductions.contribute(
+            self._array, self._pe, value, op, tag, target
+        )
+
+
+class ChareArray:
+    """An indexed collection of chares mapped over the PEs."""
+
+    def __init__(
+        self,
+        charm: "Charm",
+        name: str,
+        factory: Callable[[Hashable], Chare],
+        indices: Iterable[Hashable],
+        map_fn: Callable[[Hashable, int, int], int],
+    ) -> None:
+        self.charm = charm
+        self.name = name
+        self.indices: List[Hashable] = list(indices)
+        if not self.indices:
+            raise ValueError(f"chare array {name!r} needs at least one element")
+        npes = len(charm.runtime.pes)
+        self.elements: Dict[Hashable, Chare] = {}
+        self.home: Dict[Hashable, int] = {}
+        for i, idx in enumerate(self.indices):
+            pe_rank = map_fn(idx, i, npes)
+            if not 0 <= pe_rank < npes:
+                raise ValueError(
+                    f"map placed element {idx!r} on invalid PE {pe_rank}"
+                )
+            chare = factory(idx)
+            chare._array = self
+            chare._index = idx
+            chare._pe = charm.runtime.pes[pe_rank]
+            self.elements[idx] = chare
+            self.home[idx] = pe_rank
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def element(self, index: Hashable) -> Chare:
+        return self.elements[index]
+
+    def pe_of(self, index: Hashable) -> int:
+        return self.home[index]
+
+    def local_indices(self, pe_rank: int) -> List[Hashable]:
+        return [i for i in self.indices if self.home[i] == pe_rank]
+
+    # -- messaging ---------------------------------------------------------
+    def send_from(
+        self, src_pe, index: Hashable, method: str, nbytes: int, *args: Any,
+        priority: int = 0,
+    ):
+        """Send an entry-method invocation from ``src_pe`` (generator)."""
+        if index not in self.elements:
+            raise KeyError(f"no element {index!r} in array {self.name!r}")
+        dst_rank = self.home[index]
+        payload = (self.name, index, method, args)
+        yield from self.charm.runtime.send(
+            src_pe, dst_rank, self.charm.entry_handler_id(method), nbytes, payload,
+            priority=priority,
+        )
+
+    def broadcast_from(self, src_pe, method: str, nbytes: int, *args: Any):
+        """Invoke ``method`` on every element via a spanning tree.
+
+        Uses a cached full-array multicast section: one message per
+        hosting PE (tree edge), local pointer-exchange fan-out — how
+        Charm++ implements array broadcasts.
+        """
+        section = getattr(self, "_bcast_section", None)
+        if section is None:
+            section = self.charm.create_section(self, self.indices)
+            self._bcast_section = section
+        yield from section.multicast_from(src_pe, method, nbytes, *args)

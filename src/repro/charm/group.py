@@ -1,0 +1,36 @@
+"""Chare groups: one chare per PE (Charm++ group/nodegroup).
+
+Runtime services and per-PE managers in Charm++ live in *groups* —
+arrays with exactly one element per processing element, indexed by PE
+rank.  NAMD's patch managers and the PME persistent-communication
+managers are groups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from .chare import Chare, ChareArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Charm
+
+__all__ = ["Group"]
+
+
+class Group(ChareArray):
+    """One chare per PE, indexed by PE rank."""
+
+    def __init__(self, charm: "Charm", name: str, factory: Callable[[int], Chare]):
+        npes = len(charm.runtime.pes)
+        super().__init__(
+            charm,
+            name,
+            factory,
+            range(npes),
+            map_fn=lambda idx, ordinal, _npes: ordinal,
+        )
+
+    def local_element(self, pe_rank: int) -> Chare:
+        """The group member on a given PE (every PE has exactly one)."""
+        return self.element(pe_rank)

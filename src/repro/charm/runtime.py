@@ -1,0 +1,186 @@
+"""The Charm++ facade: arrays, entry methods, reductions, run control."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Union
+
+from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..converse import CmiDirectManytomany, ConverseRuntime, RunConfig
+from ..converse.messages import ConverseMessage
+from ..sim import Environment, Event
+from .chare import Chare, ChareArray
+from .group import Group
+from .loadbalancer import blocked_map, round_robin_map
+from .reduction import ReductionManager
+from .section import Section
+
+__all__ = ["Charm"]
+
+
+class Charm:
+    """A Charm++ application instance on a simulated BG/Q partition.
+
+    Typical use::
+
+        charm = Charm(RunConfig(nnodes=2, workers_per_process=4))
+        arr = charm.create_array("workers", Worker, range(16))
+        charm.seed(arr, 0, "start")
+        result = charm.run()          # until charm.exit(...) is called
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        params: BGQParams = DEFAULT_PARAMS,
+        env: Optional[Environment] = None,
+    ) -> None:
+        self.env = env or Environment()
+        self.params = params
+        self.config = config
+        self.runtime = ConverseRuntime(self.env, config, params)
+        self.cmidirect = CmiDirectManytomany(self.runtime)
+        self.arrays: Dict[str, ChareArray] = {}
+        self.reductions = ReductionManager(self)
+        self._entry_hids: Dict[str, int] = {}
+        self._categories: Dict[str, str] = {}
+        self._sections: Dict[int, Section] = {}
+        self._section_hid: Optional[int] = None
+        self.done: Event = self.env.event()
+        self._started = False
+
+    # -- entry-method plumbing ---------------------------------------------
+    def set_entry_category(self, method_name: str, category: str) -> None:
+        """Label a method's timeline segments (integrate/nonbonded/pme...).
+
+        Must be called before the first send of that method.
+        """
+        if method_name in self._entry_hids:
+            raise RuntimeError(
+                f"method {method_name!r} already has a registered handler"
+            )
+        self._categories[method_name] = category
+
+    def entry_handler_id(self, method_name: str) -> int:
+        hid = self._entry_hids.get(method_name)
+        if hid is None:
+            hid = self.runtime.register_handler(
+                self._make_entry_handler(method_name),
+                category=self._categories.get(method_name, "compute"),
+            )
+            self._entry_hids[method_name] = hid
+        return hid
+
+    def _make_entry_handler(self, method_name: str) -> Callable:
+        charm = self
+
+        def entry(pe, msg):
+            array_name, index, method, args = msg.payload
+            array = charm.arrays[array_name]
+            chare = array.elements[index]
+            yield from pe.thread.compute(charm.params.charm_entry_instr)
+            t0 = charm.env.now
+            result = getattr(chare, method)(*args)
+            if result is not None and hasattr(result, "__next__"):
+                yield from result
+            # Per-chare load metering (feeds the greedy load balancer).
+            chare._load = getattr(chare, "_load", 0.0) + (charm.env.now - t0)
+
+        entry.__name__ = f"entry_{method_name}"
+        return entry
+
+    # -- array creation ------------------------------------------------------
+    def create_array(
+        self,
+        name: str,
+        factory: Callable[[Hashable], Chare],
+        indices: Iterable[Hashable],
+        map_fn: Union[str, Callable, None] = None,
+    ) -> ChareArray:
+        """Create a chare array; ``map_fn`` may be "blocked" (default),
+        "round_robin", or a custom ``(index, ordinal, npes) -> pe`` map."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already exists")
+        indices = list(indices)
+        if map_fn is None or map_fn == "blocked":
+            map_fn = blocked_map(len(indices))
+        elif map_fn == "round_robin":
+            map_fn = round_robin_map()
+        elif isinstance(map_fn, str):
+            raise ValueError(f"unknown map {map_fn!r}")
+        array = ChareArray(self, name, factory, indices, map_fn)
+        self.arrays[name] = array
+        return array
+
+    def create_group(self, name: str, factory: Callable[[int], Chare]) -> Group:
+        """Create a group: one chare per PE, indexed by PE rank."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already exists")
+        group = Group(self, name, factory)
+        self.arrays[name] = group
+        return group
+
+    # -- section multicast plumbing --------------------------------------------
+    def create_section(self, array: ChareArray, indices) -> Section:
+        """Create a multicast section over a subset of an array."""
+        return Section(self, array, indices)
+
+    def _register_section(self, section: Section) -> None:
+        self._sections[section.section_id] = section
+
+    def section_handler_id(self) -> int:
+        if self._section_hid is None:
+            charm = self
+
+            def section_handler(pe, msg):
+                section_id, method, args, nbytes = msg.payload
+                section = charm._sections.get(section_id)
+                if section is None:
+                    raise RuntimeError(f"unknown section {section_id}")
+                yield from section._deliver(pe, method, args, nbytes)
+
+            self._section_hid = self.runtime.register_handler(
+                section_handler, category="comm"
+            )
+        return self._section_hid
+
+    # -- run control -------------------------------------------------------------
+    def seed(self, array: ChareArray, index: Hashable, method: str, *args: Any) -> None:
+        """Queue an initial entry-method invocation (before start())."""
+        hid = self.entry_handler_id(method)
+        pe = self.runtime.pes[array.pe_of(index)]
+        payload = (array.name, index, method, args)
+        pe.local_q.append(ConverseMessage(hid, 0, payload, pe.rank, pe.rank))
+
+    def exit(self, value: Any = None) -> None:
+        """CkExit: end the run; :meth:`run` returns ``value``."""
+        if not self.done.triggered:
+            self.done.succeed(value)
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.runtime.start()
+
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
+        """Start the runtime and run until ``charm.exit`` (default)."""
+        self.start()
+        value = self.env.run(until=until if until is not None else self.done)
+        self.runtime.stop()
+        return value
+
+    # -- load balancing ------------------------------------------------------
+    def measured_loads(self, array: ChareArray):
+        """Per-element accumulated entry-method time (cycles).
+
+        Feed to :func:`repro.charm.greedy_rebalance` to compute an
+        improved placement for the next run.
+        """
+        return [(idx, getattr(array.element(idx), "_load", 0.0)) for idx in array.indices]
+
+    @property
+    def recorder(self):
+        return self.runtime.recorder
+
+    @property
+    def npes(self) -> int:
+        return len(self.runtime.pes)

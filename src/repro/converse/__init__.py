@@ -1,0 +1,22 @@
+"""Converse machine layer: the Charm++ runtime substrate on BG/Q."""
+
+from .alloc import GnuAllocator, PoolAllocator, make_allocator
+from .cmidirect import CmiDirectHandle, CmiDirectManytomany
+from .machine import ConverseProcess, ConverseRuntime, RunConfig
+from .messages import ConverseMessage
+from .quiescence import QuiescenceDetector
+from .scheduler import PE
+
+__all__ = [
+    "CmiDirectHandle",
+    "CmiDirectManytomany",
+    "ConverseMessage",
+    "ConverseProcess",
+    "ConverseRuntime",
+    "GnuAllocator",
+    "PE",
+    "PoolAllocator",
+    "QuiescenceDetector",
+    "RunConfig",
+    "make_allocator",
+]

@@ -1,0 +1,447 @@
+"""The Converse machine layer and runtime for BG/Q (§III).
+
+Assembles everything below it — simulated nodes, PAMI contexts,
+communication threads — into a running message-driven system, and
+implements the send/receive paths the paper optimizes:
+
+* **intra-process**: pointer exchange into the destination PE's L2
+  atomic queue (no serialization, no network);
+* **eager network path**: Converse envelope + PAMI active message
+  (``send_immediate`` for single-packet messages, ``send`` otherwise),
+  dispatch callback at the receiver allocates a buffer and enqueues to
+  the destination PE;
+* **rendezvous path** (large messages): a short RTS header carries the
+  source address; the receiver issues ``PAMI_Rget`` (RDMA read) and,
+  on completion, enqueues the message and returns an ACK that lets the
+  sender free its buffer;
+* **communication-thread offload**: with communication threads enabled,
+  workers post send closures to comm-thread contexts (round-robin, so
+  one chatty PE's load spreads over all comm threads — §III-C) and
+  never touch the network themselves.
+
+Three execution modes, as studied in the paper (§III, Fig. 4):
+``RunConfig(workers_per_process=1, processes_per_node=64)`` is non-SMP;
+more workers per process is SMP; ``comm_threads_per_process > 0`` adds
+dedicated communication threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..bgq.machine import BGQMachine
+from ..bgq.node import HWThread, Node
+from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..bgq.wakeup import WakeupSource
+from ..pami.commthread import CommThread
+from ..pami.context import AMPayload, Endpoint, PamiClient, PamiContext
+from ..pami.manytomany import ManyToManyRegistry
+from ..sim import Environment, TimelineRecorder
+from .alloc import make_allocator
+from .messages import ConverseMessage
+from .scheduler import PE
+
+__all__ = ["RunConfig", "ConverseProcess", "ConverseRuntime"]
+
+# Reserved PAMI dispatch ids for the Converse machine layer.
+DISPATCH_EAGER = 1
+DISPATCH_RTS = 2
+DISPATCH_ACK = 3
+
+
+@dataclass
+class RunConfig:
+    """One launch configuration (the paper's "modes").
+
+    The product ``processes_per_node * (workers_per_process +
+    comm_threads_per_process)`` must not exceed the node's 64 hardware
+    threads.
+    """
+
+    nnodes: int = 1
+    processes_per_node: int = 1
+    workers_per_process: int = 1
+    comm_threads_per_process: int = 0
+    #: "l2" = the paper's lockless queues; "mutex" = baseline (Fig. 8).
+    queue_kind: str = "l2"
+    #: "pool" = per-thread L2 pools (§III-B); "gnu" = arena allocator.
+    allocator: str = "pool"
+    #: "l2" = optimized idle poll (§III-D); "naive" = spin loop.
+    idle_poll: str = "l2"
+    pe_queue_size: int = 1024
+    #: Record per-PE timelines (Figs. 3/9/10); costs memory, off by default.
+    record_timeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_kind not in ("l2", "mutex"):
+            raise ValueError(f"bad queue_kind {self.queue_kind!r}")
+        if self.allocator not in ("pool", "gnu"):
+            raise ValueError(f"bad allocator {self.allocator!r}")
+        if self.idle_poll not in ("l2", "naive"):
+            raise ValueError(f"bad idle_poll {self.idle_poll!r}")
+        if min(self.nnodes, self.processes_per_node, self.workers_per_process) < 1:
+            raise ValueError("nnodes/processes/workers must be >= 1")
+        if self.comm_threads_per_process < 0:
+            raise ValueError("comm_threads_per_process must be >= 0")
+        if self.processes_per_node * self.threads_per_process > 64:
+            raise ValueError(
+                "configuration exceeds the 64 hardware threads of a BG/Q node"
+            )
+
+    @property
+    def threads_per_process(self) -> int:
+        return self.workers_per_process + self.comm_threads_per_process
+
+    @property
+    def is_smp(self) -> bool:
+        return self.threads_per_process > 1
+
+    @property
+    def pes_per_node(self) -> int:
+        return self.processes_per_node * self.workers_per_process
+
+    @property
+    def total_pes(self) -> int:
+        return self.nnodes * self.pes_per_node
+
+    def describe(self) -> str:
+        if not self.is_smp:
+            return f"non-SMP ({self.processes_per_node} proc/node)"
+        ct = self.comm_threads_per_process
+        return (
+            f"SMP {self.processes_per_node}x({self.workers_per_process}w"
+            f"+{ct}c)/node" + ("" if ct else " (no comm threads)")
+        )
+
+
+class ConverseProcess:
+    """One OS process of the Charm++ job."""
+
+    def __init__(
+        self,
+        runtime: "ConverseRuntime",
+        node: Node,
+        proc_index: int,
+        thread_base: int,
+    ) -> None:
+        self.runtime = runtime
+        self.node = node
+        self.proc_index = proc_index  # index within the node
+        cfg = runtime.config
+        self.env = runtime.env
+        self.params = runtime.params
+        self.alloc = make_allocator(node, cfg.allocator, runtime.params)
+        self.client = PamiClient(self.env, node, runtime.params)
+        self.pes: List[PE] = []
+
+        nthreads = cfg.threads_per_process
+        if thread_base + nthreads > node.n_threads:
+            raise ValueError(
+                f"config needs {nthreads} threads at base {thread_base} but the "
+                f"node has {node.n_threads}"
+            )
+        self.worker_threads = [
+            node.thread(thread_base + i) for i in range(cfg.workers_per_process)
+        ]
+        comm_hw = [
+            node.thread(thread_base + cfg.workers_per_process + i)
+            for i in range(cfg.comm_threads_per_process)
+        ]
+
+        # Context topology (see module docstring).
+        self.comm_contexts: List[PamiContext] = []
+        self.worker_contexts: List[PamiContext] = []
+        self.comm_threads: List[CommThread] = []
+        if cfg.comm_threads_per_process > 0:
+            for hw in comm_hw:
+                ctx = self.client.create_context()
+                self.comm_contexts.append(ctx)
+                self.comm_threads.append(
+                    CommThread(self.env, hw, [ctx], runtime.params)
+                )
+        else:
+            for _ in range(cfg.workers_per_process):
+                self.worker_contexts.append(self.client.create_context())
+
+        for ctx in self.contexts:
+            ctx.register_dispatch(DISPATCH_EAGER, runtime._eager_dispatch)
+            ctx.register_dispatch(DISPATCH_RTS, runtime._rts_dispatch)
+            ctx.register_dispatch(DISPATCH_ACK, runtime._ack_dispatch)
+
+        self.m2m = ManyToManyRegistry(
+            self.env, self.contexts, self.comm_threads, runtime.params
+        )
+
+        #: Rendezvous bookkeeping.
+        self._token_counter = itertools.count()
+        self.pending_sends: Dict[int, Any] = {}
+        #: Per-source-PE round-robin over comm contexts.
+        self._send_rr = 0
+
+    @property
+    def contexts(self) -> List[PamiContext]:
+        return self.comm_contexts if self.comm_contexts else self.worker_contexts
+
+    @property
+    def is_smp(self) -> bool:
+        return self.runtime.config.is_smp
+
+    def inbound_endpoint(self, local_pe_index: int) -> Endpoint:
+        """Which context endpoint remote senders target for a local PE."""
+        if self.comm_contexts:
+            return self.comm_contexts[local_pe_index % len(self.comm_contexts)].endpoint
+        return self.worker_contexts[local_pe_index].endpoint
+
+    def next_send_context(self) -> PamiContext:
+        """Round-robin comm-thread context for the next offloaded send."""
+        ctx = self.comm_contexts[self._send_rr % len(self.comm_contexts)]
+        self._send_rr += 1
+        return ctx
+
+    def new_token(self) -> int:
+        return next(self._token_counter)
+
+
+class ConverseRuntime:
+    """The running Charm++/Converse job over a simulated BG/Q partition."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: RunConfig,
+        params: BGQParams = DEFAULT_PARAMS,
+        machine: Optional[BGQMachine] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.params = params
+        self.machine = machine or BGQMachine(env, config.nnodes, params)
+        if self.machine.nnodes != config.nnodes:
+            raise ValueError("machine/config node count mismatch")
+        per_node_threads = config.processes_per_node * config.threads_per_process
+        if per_node_threads > params.threads_per_node:
+            raise ValueError(
+                f"{per_node_threads} threads/node requested, hardware has "
+                f"{params.threads_per_node}"
+            )
+
+        self.handlers: List[Callable] = []
+        self.handler_categories: Dict[int, str] = {}
+        #: Cumulative machine-layer sends (quiescence accounting).
+        self.messages_sent = 0
+        self.stopped = False
+        self.stop_wakeup = WakeupSource(env, name="runtime-stop", params=params)
+        self.recorder: Optional[TimelineRecorder] = (
+            TimelineRecorder(env) if config.record_timeline else None
+        )
+
+        # Build processes and PEs.  Threads of a node are split evenly
+        # between its processes.
+        self.processes: List[ConverseProcess] = []
+        self.pes: List[PE] = []
+        slice_size = params.threads_per_node // config.processes_per_node
+        rank = 0
+        for node in self.machine.nodes:
+            for p in range(config.processes_per_node):
+                proc = ConverseProcess(self, node, p, thread_base=p * slice_size)
+                self.processes.append(proc)
+                for w in range(config.workers_per_process):
+                    pe = PE(self, proc, rank, w, proc.worker_threads[w])
+                    if not proc.comm_contexts:
+                        pe.context = proc.worker_contexts[w]
+                    proc.pes.append(pe)
+                    self.pes.append(pe)
+                    rank += 1
+
+    # -- handler registry ------------------------------------------------------
+    def register_handler(self, fn: Callable, category: str = "sched") -> int:
+        """Register a Converse handler ``fn(pe, msg)``; returns its id.
+
+        ``category`` labels the handler's timeline segments (Figs. 3/9/10
+        colours): integrate / nonbonded / pme / comm / sched ...
+        """
+        self.handlers.append(fn)
+        hid = len(self.handlers) - 1
+        self.handler_categories[hid] = category
+        return hid
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Start every PE's scheduler loop."""
+        for pe in self.pes:
+            pe.start()
+
+    def stop(self) -> None:
+        """Stop all schedulers and communication threads."""
+        self.stopped = True
+        self.stop_wakeup.signal()
+        for proc in self.processes:
+            for ct in proc.comm_threads:
+                ct.stop()
+        # Wake any PE parked in its idle loop.
+        for pe in self.pes:
+            pe.queue.wakeup.signal()
+
+    def run_until(self, event) -> Any:
+        """Convenience: start, run to the event, stop."""
+        self.start()
+        value = self.env.run(until=event)
+        self.stop()
+        return value
+
+    # -- message send path --------------------------------------------------
+    def send(
+        self,
+        src_pe: PE,
+        dst_rank: int,
+        handler_id: int,
+        nbytes: int,
+        payload: Any,
+        priority: int = 0,
+    ):
+        """CmiSyncSend (generator); runs on the sending PE's thread."""
+        env = self.env
+        p = self.params
+        if not 0 <= dst_rank < len(self.pes):
+            raise ValueError(f"bad destination rank {dst_rank}")
+        if not 0 <= handler_id < len(self.handlers):
+            raise ValueError(f"unregistered handler {handler_id}")
+        thread = src_pe.thread
+        proc = src_pe.process
+        dst_pe = self.pes[dst_rank]
+        self.messages_sent += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.begin(src_pe.rank, "comm")
+
+        if dst_pe.process is proc:
+            # Intra-process: pointer exchange into the peer's L2 queue.
+            yield from thread.compute(p.intranode_deliver_instr)
+            msg = ConverseMessage(
+                handler_id, nbytes, payload, src_pe.rank, dst_rank,
+                sent_at=env.now, priority=priority,
+            )
+            if dst_pe is src_pe:
+                src_pe.local_q.append(msg)
+            else:
+                yield from dst_pe.enqueue_from(thread, msg)
+            if rec is not None:
+                rec.begin(src_pe.rank, "sched")
+            return
+
+        # Network path: allocate + pack the outgoing buffer.
+        buf = yield from proc.alloc.malloc(thread, nbytes)
+        yield from thread.compute(nbytes / p.memcpy_bytes_per_instr)
+        yield from thread.compute(
+            p.converse_send_instr + (p.smp_overhead_instr if proc.is_smp else 0.0)
+        )
+        endpoint = dst_pe.process.inbound_endpoint(dst_pe.local_index)
+        data = (dst_rank, handler_id, nbytes, payload, env.now, priority)
+
+        if nbytes <= p.rendezvous_threshold:
+            if proc.comm_threads:
+                ctx = proc.next_send_context()
+
+                def send_work(c: PamiContext, t: HWThread, _data=data, _n=nbytes):
+                    if _n <= p.packet_payload_max:
+                        yield from c.send_immediate(t, endpoint, DISPATCH_EAGER, _n, _data)
+                    else:
+                        yield from c.send(t, endpoint, DISPATCH_EAGER, _n, _data)
+
+                yield from ctx.post_work(thread, send_work)
+            else:
+                ctx = src_pe.context
+                if nbytes <= p.packet_payload_max:
+                    yield from ctx.send_immediate(thread, endpoint, DISPATCH_EAGER, nbytes, data)
+                else:
+                    yield from ctx.send(thread, endpoint, DISPATCH_EAGER, nbytes, data)
+            # Eager: the machine layer owns the payload now.
+            yield from proc.alloc.free(thread, buf)
+        else:
+            token = proc.new_token()
+            proc.pending_sends[token] = buf
+            ack_ep = proc.inbound_endpoint(src_pe.local_index)
+            rts = (
+                dst_rank,
+                handler_id,
+                nbytes,
+                payload,
+                proc.node.node_id,
+                token,
+                ack_ep,
+                env.now,
+            )
+            yield from thread.compute(p.rendezvous_extra_instr / 2)
+            if proc.comm_threads:
+                ctx = proc.next_send_context()
+
+                def rts_work(c: PamiContext, t: HWThread, _rts=rts):
+                    yield from c.send_immediate(t, endpoint, DISPATCH_RTS, 64, _rts)
+
+                yield from ctx.post_work(thread, rts_work)
+            else:
+                yield from src_pe.context.send_immediate(
+                    thread, endpoint, DISPATCH_RTS, 64, rts
+                )
+        if rec is not None:
+            rec.begin(src_pe.rank, "sched")
+
+    # -- receive-side dispatches (run on whichever thread advances) -----------
+    def _proc_of_context(self, ctx: PamiContext) -> ConverseProcess:
+        for proc in self.processes:
+            if ctx in proc.contexts:
+                return proc
+        raise RuntimeError("context not owned by any process")
+
+    def _deliver_to_pe(self, thread: HWThread, msg: ConverseMessage):
+        pe = self.pes[msg.dst_rank]
+        if pe.thread is thread:
+            pe.local_q.append(msg)
+        else:
+            yield from pe.enqueue_from(thread, msg)
+
+    def _eager_dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
+        p = self.params
+        dst_rank, handler_id, nbytes, user_payload, sent_at, priority = payload.data
+        proc = self._proc_of_context(ctx)
+        yield from thread.compute(p.converse_recv_instr)
+        buf = yield from proc.alloc.malloc(thread, nbytes)
+        yield from thread.compute(nbytes / p.memcpy_bytes_per_instr)
+        msg = ConverseMessage(
+            handler_id, nbytes, user_payload, -1, dst_rank, buffer=buf,
+            sent_at=sent_at, priority=priority,
+        )
+        yield from self._deliver_to_pe(thread, msg)
+
+    def _rts_dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
+        p = self.params
+        (dst_rank, handler_id, nbytes, user_payload, src_node, token, ack_ep, sent_at) = payload.data
+        proc = self._proc_of_context(ctx)
+        yield from thread.compute(p.rendezvous_extra_instr / 2)
+        desc = yield from ctx.rget(thread, src_node, nbytes)
+
+        def completion(c: PamiContext, t: HWThread):
+            yield from t.compute(p.converse_recv_instr)
+            buf = yield from proc.alloc.malloc(t, nbytes)
+            # RDMA wrote straight into memory: no unpack copy.
+            msg = ConverseMessage(
+                handler_id, nbytes, user_payload, -1, dst_rank, buffer=buf, sent_at=sent_at
+            )
+            yield from self._deliver_to_pe(t, msg)
+            yield from c.send_immediate(t, ack_ep, DISPATCH_ACK, 16, token)
+
+        def watch():
+            yield desc.delivered
+            ctx.post_completion(completion)
+
+        self.env.process(watch(), name="rts-rget-watch")
+
+    def _ack_dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
+        proc = self._proc_of_context(ctx)
+        token = payload.data
+        buf = proc.pending_sends.pop(token, None)
+        if buf is None:
+            raise RuntimeError(f"ACK for unknown rendezvous token {token}")
+        yield from proc.alloc.free(thread, buf)

@@ -1,0 +1,17 @@
+"""Pencil-decomposed 3D FFT library on the Charm++ runtime (§IV-A)."""
+
+from .fft3d import FFT3D, FFTResult, Slot
+from .kernels import batch_fft, fft_flops, fft_instructions
+from .pencil import PencilGrid, choose_grid, split_ranges
+
+__all__ = [
+    "FFT3D",
+    "FFTResult",
+    "PencilGrid",
+    "Slot",
+    "batch_fft",
+    "choose_grid",
+    "fft_flops",
+    "fft_instructions",
+    "split_ranges",
+]

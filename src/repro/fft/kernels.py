@@ -1,0 +1,46 @@
+"""1D FFT kernels: real math + BG/Q cost model.
+
+The numerical result comes from numpy (vectorized batch 1D FFTs along
+one axis, per the project's hpc-python idioms); the *simulated* cost
+charged to the executing core models the QPX-vectorized kernel the
+paper uses (§IV-B1): ~5 N log2 N floating-point operations per
+length-N complex transform, executed on the 4-wide QPX unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["fft_flops", "fft_instructions", "batch_fft"]
+
+#: Floating-point ops per complex FFT point (radix-2 butterfly count).
+_FLOPS_PER_POINT_FACTOR = 5.0
+#: Sustained flops per instruction with QPX SIMD (4-wide FMA, realistic
+#: efficiency well under the 8 flops/cycle peak).
+QPX_FLOPS_PER_INSTR = 4.0
+#: Scalar fallback (no SIMD).
+SCALAR_FLOPS_PER_INSTR = 1.0
+
+
+def fft_flops(n: int, batch: int = 1) -> float:
+    """Floating-point operations for ``batch`` complex FFTs of length n."""
+    if n < 1 or batch < 0:
+        raise ValueError("invalid FFT size")
+    if n == 1:
+        return 0.0
+    return _FLOPS_PER_POINT_FACTOR * n * math.log2(n) * batch
+
+
+def fft_instructions(n: int, batch: int = 1, qpx: bool = True) -> float:
+    """Simulated instruction count for a batch of 1D FFTs."""
+    per_instr = QPX_FLOPS_PER_INSTR if qpx else SCALAR_FLOPS_PER_INSTR
+    return fft_flops(n, batch) / per_instr
+
+
+def batch_fft(data: np.ndarray, axis: int, inverse: bool = False) -> np.ndarray:
+    """All 1D transforms of ``data`` along ``axis`` (the real math)."""
+    if inverse:
+        return np.fft.ifft(data, axis=axis)
+    return np.fft.fft(data, axis=axis)

@@ -1,0 +1,129 @@
+"""Converse-level ping-pong micro-benchmarks (Figs. 4 and 5).
+
+Fig. 4 — one-way latency to a neighbouring node for the three run
+modes (non-SMP, SMP without communication threads, SMP with them)
+across message sizes.
+
+Fig. 5 — one-way latency within one BG/Q node: (I) between threads in
+different processes (MU loopback) and (II) between threads of the same
+Charm++ SMP process (pointer exchange; size-independent).
+
+Everything runs on the full DES stack: real lockless queues, PAMI
+contexts, MU packets and torus links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bgq.params import CYCLES_PER_US
+from ..converse import ConverseRuntime, RunConfig
+from ..converse.messages import ConverseMessage
+from ..sim import Environment
+
+__all__ = [
+    "pingpong_oneway_us",
+    "fig4_internode",
+    "fig5_intranode",
+    "FIG4_MODES",
+    "FIG4_SIZES",
+]
+
+#: The three modes of Fig. 4 (2 nodes each).
+FIG4_MODES: Dict[str, RunConfig] = {
+    "non-SMP": RunConfig(nnodes=2, processes_per_node=1, workers_per_process=1),
+    "SMP": RunConfig(nnodes=2, workers_per_process=4),
+    "SMP+commthread": RunConfig(
+        nnodes=2, workers_per_process=4, comm_threads_per_process=1
+    ),
+}
+
+FIG4_SIZES: Tuple[int, ...] = (16, 32, 128, 512, 2048, 8192, 32768, 131072)
+
+
+def pingpong_oneway_us(
+    config: RunConfig,
+    nbytes: int,
+    src_rank: int = 0,
+    dst_rank: int | None = None,
+    trips: int = 8,
+    skip: int = 2,
+) -> float:
+    """Measure mean one-way latency (microseconds) via DES ping-pong."""
+    env = Environment()
+    rt = ConverseRuntime(env, config)
+    if dst_rank is None:
+        dst_rank = config.pes_per_node  # first PE of node 1
+    rtts: List[float] = []
+    done = env.event()
+    state = {"t0": 0.0, "trip": 0}
+
+    def pong(pe, msg):
+        # Remote side: bounce straight back.
+        yield from pe.send(src_rank, hid_ping, nbytes, None)
+
+    def ping(pe, msg):
+        now = env.now
+        if state["trip"] > 0:
+            rtts.append(now - state["t0"])
+        if state["trip"] >= trips:
+            done.succeed()
+            return
+        state["t0"] = now
+        state["trip"] += 1
+        yield from pe.send(dst_rank, hid_pong, nbytes, None)
+
+    hid_pong = rt.register_handler(pong)
+    hid_ping = rt.register_handler(ping)
+    rt.pes[src_rank].local_q.append(ConverseMessage(hid_ping, 0, None, src_rank, src_rank))
+    rt.run_until(done)
+    usable = rtts[skip:]
+    if not usable:
+        raise RuntimeError("ping-pong completed no measurable trips")
+    return float(np.mean(usable)) / 2.0 / CYCLES_PER_US
+
+
+def fig4_internode(
+    sizes: Sequence[int] = FIG4_SIZES, trips: int = 8
+) -> Dict[str, Dict[int, float]]:
+    """One-way inter-node latency per mode and size (microseconds)."""
+    out: Dict[str, Dict[int, float]] = {}
+    for mode, config in FIG4_MODES.items():
+        out[mode] = {}
+        for size in sizes:
+            out[mode][size] = pingpong_oneway_us(config, size, trips=trips)
+    return out
+
+
+def fig5_intranode(
+    sizes: Sequence[int] = (16, 512, 8192, 131072), trips: int = 8
+) -> Dict[str, Dict[int, float]]:
+    """One-way intra-node latency (microseconds).
+
+    Cases: different processes on one node (loopback through the MU)
+    and same SMP process (pointer exchange), each with and without
+    communication threads.
+    """
+    cases = {
+        "processes": RunConfig(nnodes=1, processes_per_node=2, workers_per_process=2),
+        "processes+ct": RunConfig(
+            nnodes=1, processes_per_node=2, workers_per_process=2,
+            comm_threads_per_process=1,
+        ),
+        "smp": RunConfig(nnodes=1, workers_per_process=4),
+        "smp+ct": RunConfig(
+            nnodes=1, workers_per_process=4, comm_threads_per_process=1
+        ),
+    }
+    out: Dict[str, Dict[int, float]] = {}
+    for name, config in cases.items():
+        out[name] = {}
+        if name.startswith("processes"):
+            dst = config.workers_per_process  # first PE of process 2
+        else:
+            dst = config.workers_per_process - 1  # last worker, same process
+        for size in sizes:
+            out[name][size] = pingpong_oneway_us(config, size, dst_rank=dst, trips=trips)
+    return out

@@ -1,0 +1,70 @@
+"""Table formatting for paper-vs-reproduced reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_comparison", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    pad = max(0, width - len(title) - 2)
+    return f"{'=' * (pad // 2)} {title} {'=' * (pad - pad // 2)}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Plain aligned text table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(banner(title))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    ratio_of: Optional[tuple] = None,
+) -> str:
+    """Table with an extra reproduced/paper ratio column.
+
+    ``ratio_of=(i_paper, i_model)`` appends model/paper for those
+    column indices.
+    """
+    out_rows: List[List] = []
+    hdrs = list(headers)
+    if ratio_of is not None:
+        hdrs.append("model/paper")
+    for row in rows:
+        row = list(row)
+        if ratio_of is not None:
+            ip, im = ratio_of
+            paper, model = float(row[ip]), float(row[im])
+            row.append(f"{model / paper:.2f}x" if paper else "-")
+        out_rows.append(row)
+    return format_table(hdrs, out_rows, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    return str(cell)

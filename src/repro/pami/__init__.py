@@ -1,0 +1,22 @@
+"""PAMI-like active-message layer over the simulated BG/Q MU.
+
+Parallel Active Messaging Interface: contexts, active-message sends
+(`send_immediate`, `send`, `rget`), dispatch callbacks, lockless work
+queues, communication threads on the wakeup unit, and the persistent
+many-to-many interface for bursts of short messages.
+"""
+
+from .commthread import CommThread
+from .context import AMPayload, Endpoint, PamiClient, PamiContext
+from .manytomany import M2M_DISPATCH_ID, ManyToManyHandle, ManyToManyRegistry
+
+__all__ = [
+    "AMPayload",
+    "CommThread",
+    "Endpoint",
+    "M2M_DISPATCH_ID",
+    "ManyToManyHandle",
+    "ManyToManyRegistry",
+    "PamiClient",
+    "PamiContext",
+]

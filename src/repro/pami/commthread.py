@@ -1,0 +1,78 @@
+"""PAMI communication threads (§II-B, §III-C).
+
+A communication thread asynchronously advances one or more PAMI
+contexts.  When there is no messaging work it arms the wakeup unit on
+its contexts' reception FIFOs and work queues and executes the ``wait``
+instruction — consuming *no* core resources — and is awakened within a
+low-overhead interrupt latency when a packet arrives or work is posted.
+
+"Typically, a communication thread is enabled for four worker threads.
+Multiple communication threads can accelerate messages from several
+worker threads" [paper §III-C]: the mapping of worker threads to
+communication threads lives in the Converse machine layer; this class
+is the thread itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bgq.node import HWThread
+from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..sim import Environment
+from .context import PamiContext
+
+__all__ = ["CommThread"]
+
+
+class CommThread:
+    """A dedicated communication thread driving PAMI contexts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        thread: HWThread,
+        contexts: List[PamiContext],
+        params: BGQParams = DEFAULT_PARAMS,
+        name: Optional[str] = None,
+    ) -> None:
+        if not contexts:
+            raise ValueError("a communication thread needs at least one context")
+        self.env = env
+        self.thread = thread
+        self.contexts = contexts
+        self.params = params
+        self.name = name or f"commthread-n{thread.node.node_id}t{thread.tid}"
+        self._stopped = False
+        self.wakeup_count = 0
+        self.items_processed = 0
+        self.process = env.process(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        self._stopped = True
+        # Poke every source so a waiting thread observes the stop flag.
+        for ctx in self.contexts:
+            ctx.rfifo.wakeup.signal()
+
+    def _wakeup_sources(self):
+        out = []
+        for ctx in self.contexts:
+            out.append(ctx.rfifo.wakeup)
+            out.append(ctx.work.wakeup)
+        return out
+
+    def _run(self):
+        env = self.env
+        while not self._stopped:
+            n = 0
+            for ctx in self.contexts:
+                n += yield from ctx.advance(self.thread)
+            self.items_processed += n
+            if n == 0 and not self._stopped:
+                # No work: arm the wakeup unit and execute `wait`.
+                sources = self._wakeup_sources()
+                armed = [(s, s.arm()) for s in sources]
+                yield env.any_of([ev for _, ev in armed])
+                for s, ev in armed:
+                    s.disarm(ev)
+                self.wakeup_count += 1

@@ -1,0 +1,178 @@
+"""PAMI many-to-many: optimized bursts of short messages (§III-E).
+
+Neighbourhood collectives like the transposes inside a pencil 3D FFT
+send dozens of small messages per rank per phase.  Sending each through
+the full per-message software stack (envelope, scheduler, dispatch) is
+what limits fine-grained strong scaling; the ManyToMany interface is
+*persistent* — the send list (destinations, sizes, offsets) is
+registered once — and ``start()`` hands the whole burst to the
+communication threads, which issue the sends back-to-back at a far
+lower per-message cost and in parallel across several injection FIFOs.
+
+Completion has two sides, as in PAMI: the *send-done* callback when all
+local sends are injected, and the *receive-done* callback when all
+expected messages of the handle's tag have arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bgq.node import HWThread
+from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..sim import Environment, Event
+from .commthread import CommThread
+from .context import AMPayload, Endpoint, PamiContext
+
+__all__ = ["ManyToManyHandle", "ManyToManyRegistry", "M2M_DISPATCH_ID"]
+
+#: Dispatch id reserved for many-to-many traffic on every context.
+M2M_DISPATCH_ID = 0x7F
+
+
+class ManyToManyHandle:
+    """A persistent many-to-many communication pattern on one process.
+
+    ``sends`` — [(dest_endpoint, nbytes, user_data)] or
+    [(dest_endpoint, nbytes, user_data, recv_tag)] registered once; the
+    optional ``recv_tag`` addresses a *different* handle at the
+    destination (defaults to this handle's tag — symmetric patterns).
+    ``expected_recvs`` — how many messages addressed to this handle's
+    tag will arrive per iteration.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        tag,
+        sends: Sequence[Tuple],
+        expected_recvs: int,
+    ) -> None:
+        self.env = env
+        self.tag = tag
+        self.sends = []
+        for entry in sends:
+            if len(entry) == 3:
+                dest, nbytes, data = entry
+                self.sends.append((dest, nbytes, data, tag))
+            elif len(entry) == 4:
+                self.sends.append(tuple(entry))
+            else:
+                raise ValueError(f"bad many-to-many send entry {entry!r}")
+        self.expected_recvs = int(expected_recvs)
+        self._recv_count = 0
+        self.send_done: Event = env.event()
+        self.recv_done: Event = env.event()
+        self.starts = 0
+        #: Optional sink invoked per arrived message: fn(src_endpoint, data).
+        self.on_message = None
+
+    def reset(self) -> None:
+        """Re-arm for the next iteration (persistent handles are reused)."""
+        self._recv_count = 0
+        self.send_done = self.env.event()
+        self.recv_done = self.env.event()
+
+    def _note_arrival(self, payload: AMPayload) -> None:
+        self._recv_count += 1
+        if self.on_message is not None:
+            tag, data = payload.data
+            self.on_message(payload.src_endpoint, data)
+        if self._recv_count == self.expected_recvs and not self.recv_done.triggered:
+            self.recv_done.succeed()
+
+    @property
+    def complete(self) -> Event:
+        """Fires when both sides are done."""
+        return self.env.all_of([self.send_done, self.recv_done])
+
+
+class ManyToManyRegistry:
+    """Per-process many-to-many engine.
+
+    Registers the shared dispatch on the process's contexts and fans
+    ``start()`` out across the process's communication threads (or runs
+    the burst inline on the calling thread when there are none).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        contexts: List[PamiContext],
+        comm_threads: Optional[List[CommThread]] = None,
+        params: BGQParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.contexts = contexts
+        self.comm_threads = comm_threads or []
+        self.handles: Dict[int, ManyToManyHandle] = {}
+        for ctx in contexts:
+            ctx.register_dispatch(M2M_DISPATCH_ID, self._dispatch)
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self,
+        tag,
+        sends: Sequence[Tuple],
+        expected_recvs: int,
+    ) -> ManyToManyHandle:
+        if tag in self.handles:
+            raise ValueError(f"many-to-many tag {tag} already registered")
+        h = ManyToManyHandle(self.env, tag, sends, expected_recvs)
+        self.handles[tag] = h
+        return h
+
+    def _dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
+        tag, _data = payload.data
+        handle = self.handles.get(tag)
+        if handle is None:
+            raise RuntimeError(f"m2m message for unregistered tag {tag}")
+        # Amortized per-message receive cost.
+        yield from thread.compute(self.params.m2m_per_msg_instr)
+        handle._note_arrival(payload)
+
+    # -- start ---------------------------------------------------------------
+    def start(self, thread: HWThread, handle: ManyToManyHandle):
+        """CmiDirectManytomany_start: trigger the registered burst.
+
+        Generator-style.  Returns immediately after the burst has been
+        handed off (posted to communication threads) or, without comm
+        threads, after the calling thread has injected all messages.
+        """
+        p = self.params
+        handle.starts += 1
+        yield from thread.compute(p.m2m_start_instr)
+        if handle.expected_recvs == 0 and not handle.recv_done.triggered:
+            handle.recv_done.succeed()
+        if not handle.sends:
+            if not handle.send_done.triggered:
+                handle.send_done.succeed()
+            return
+
+        nworkers = max(1, len(self.comm_threads))
+        chunks: List[List[Tuple[Endpoint, int, Any]]] = [[] for _ in range(nworkers)]
+        for i, send in enumerate(handle.sends):
+            chunks[i % nworkers].append(send)
+        pending = {"count": sum(1 for c in chunks if c)}
+
+        def make_work(chunk):
+            def work(ctx: PamiContext, wthread: HWThread):
+                for dest, nbytes, data, recv_tag in chunk:
+                    yield from wthread.compute(p.m2m_per_msg_instr)
+                    desc = ctx._post(dest, M2M_DISPATCH_ID, nbytes, (recv_tag, data))
+                pending["count"] -= 1
+                if pending["count"] == 0 and not handle.send_done.triggered:
+                    handle.send_done.succeed()
+
+            return work
+
+        if self.comm_threads:
+            for ct, chunk in zip(self.comm_threads, chunks):
+                if chunk:
+                    yield from ct.contexts[0].post_work(thread, make_work(chunk))
+        else:
+            ctx = self.contexts[0]
+            work = make_work([s for c in chunks for s in c])
+            pending["count"] = 1
+            yield from work(ctx, thread)

@@ -1,0 +1,58 @@
+"""Analytic performance models for the paper's large-scale results.
+
+The DES (packages :mod:`repro.bgq` ... :mod:`repro.namd`) runs the real
+mechanisms at small scale; these models extend the same mechanisms to
+the paper's 64-16,384-node experiments, with calibration anchors
+documented per constant.  Cross-validation DES-vs-model happens in the
+test suite.
+"""
+
+from .fftmodel import (
+    DEFAULT_FFT_CONSTANTS,
+    FFTModelConstants,
+    PAPER_TABLE1,
+    fft_step_time,
+    fft_table,
+)
+from .machine import (
+    BGP,
+    BGPParams,
+    commthread_message_instr,
+    core_issue_rate,
+    node_issue_rate,
+    per_thread_ipc,
+    queue_contention_factor,
+    worker_message_instr,
+)
+from .namdmodel import (
+    DEFAULT_NAMD_CONSTANTS,
+    FIG7_CONFIGS,
+    NamdModelConstants,
+    NamdRunConfig,
+    best_config,
+    bgp_step_time,
+    namd_step_time,
+)
+
+__all__ = [
+    "BGP",
+    "BGPParams",
+    "DEFAULT_FFT_CONSTANTS",
+    "DEFAULT_NAMD_CONSTANTS",
+    "FFTModelConstants",
+    "FIG7_CONFIGS",
+    "NamdModelConstants",
+    "NamdRunConfig",
+    "PAPER_TABLE1",
+    "best_config",
+    "bgp_step_time",
+    "commthread_message_instr",
+    "core_issue_rate",
+    "fft_step_time",
+    "fft_table",
+    "namd_step_time",
+    "node_issue_rate",
+    "per_thread_ipc",
+    "queue_contention_factor",
+    "worker_message_instr",
+]

@@ -1,0 +1,111 @@
+"""Systematic DES-vs-model cross-validation.
+
+The analytic models extend the DES mechanisms to node counts a Python
+DES cannot reach; this module checks them against each other where they
+*do* overlap, so a calibration drift in either engine fails loudly in
+the test suite.
+
+The comparison is on *ratios* (m2m speedup, mode ordering, contention
+factors) rather than absolute microseconds: the analytic constants are
+anchored at the paper's scale, the DES constants at the micro-benchmark
+scale, and the shapes are the validated quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..bgq.params import CYCLES_PER_US
+from .fftmodel import fft_step_time
+from .machine import per_thread_ipc
+
+__all__ = ["CrossCheck", "fft_speedup_crosscheck", "smt_crosscheck", "run_all"]
+
+
+@dataclass
+class CrossCheck:
+    """One DES-vs-model comparison."""
+
+    name: str
+    des_value: float
+    model_value: float
+    tolerance_ratio: float  # allowed max(des/model, model/des)
+
+    @property
+    def ratio(self) -> float:
+        lo, hi = sorted([self.des_value, self.model_value])
+        return hi / lo if lo > 0 else float("inf")
+
+    @property
+    def ok(self) -> bool:
+        return self.ratio <= self.tolerance_ratio
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        flag = "ok" if self.ok else "DIVERGED"
+        return (
+            f"{self.name}: DES={self.des_value:.3g} model={self.model_value:.3g}"
+            f" (x{self.ratio:.2f} <= x{self.tolerance_ratio:.2f}) {flag}"
+        )
+
+
+def fft_speedup_crosscheck(
+    n: int = 16, nnodes: int = 8, iterations: int = 3, tolerance: float = 2.5
+) -> CrossCheck:
+    """m2m/p2p FFT speedup: full DES stack vs analytic model."""
+    from ..harness.fftbench import des_fft_step_us
+
+    des_p2p = des_fft_step_us(n, nnodes, use_m2m=False, workers=1,
+                              comm_threads=1, iterations=iterations)
+    des_m2m = des_fft_step_us(n, nnodes, use_m2m=True, workers=1,
+                              comm_threads=1, iterations=iterations)
+    model_p2p = fft_step_time(n, nnodes, "p2p") * 1e6
+    model_m2m = fft_step_time(n, nnodes, "m2m") * 1e6
+    return CrossCheck(
+        name=f"fft-{n}^3-{nnodes}n m2m speedup",
+        des_value=des_p2p / des_m2m,
+        model_value=model_p2p / model_m2m,
+        tolerance_ratio=tolerance,
+    )
+
+
+def smt_crosscheck(tolerance: float = 1.05) -> CrossCheck:
+    """4-thread core speedup: DES core model vs closed-form."""
+    from ..harness.namdbench import smt_thread_speedup_des
+
+    des = smt_thread_speedup_des()
+    model = 4 * per_thread_ipc(4) / per_thread_ipc(1)
+    return CrossCheck("smt 4-thread speedup", des, model, tolerance)
+
+
+def pingpong_mode_crosscheck(tolerance: float = 1.6) -> CrossCheck:
+    """SMP-over-non-SMP small-message latency ratio, DES vs the
+    instruction-count prediction."""
+    from ..bgq.params import DEFAULT_PARAMS
+    from ..converse import RunConfig
+    from ..harness.pingpong import pingpong_oneway_us
+
+    des_nonsmp = pingpong_oneway_us(
+        RunConfig(nnodes=2, workers_per_process=1), 16, trips=6
+    )
+    des_smp = pingpong_oneway_us(
+        RunConfig(nnodes=2, workers_per_process=4), 16, trips=6
+    )
+    p = DEFAULT_PARAMS
+    # The SMP mode adds its per-message overhead on the send side.
+    extra_us = p.smp_overhead_instr / p.base_ipc / CYCLES_PER_US
+    return CrossCheck(
+        "smp-over-nonsmp latency delta (us)",
+        des_smp - des_nonsmp,
+        extra_us,
+        tolerance,
+    )
+
+
+def run_all() -> List[CrossCheck]:
+    """All cross-checks (used by the test suite and diagnostics)."""
+    return [
+        smt_crosscheck(),
+        pingpong_mode_crosscheck(),
+        fft_speedup_crosscheck(),
+    ]

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel.
+
+All simulated BG/Q hardware and all runtime threads in this
+reproduction execute as processes on :class:`~repro.sim.Environment`.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import ContentionStats, Mutex, Semaphore, Store
+from .rng import StreamRegistry
+from .trace import (
+    Segment,
+    TimelineRecorder,
+    render_ascii_timeline,
+    utilization_profile,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ContentionStats",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "Segment",
+    "Semaphore",
+    "SimulationError",
+    "Store",
+    "StreamRegistry",
+    "Timeout",
+    "TimelineRecorder",
+    "render_ascii_timeline",
+    "utilization_profile",
+]

@@ -1,0 +1,392 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every hardware and runtime component in this reproduction executes on top
+of this engine: simulated hardware threads are generator-based processes,
+hardware latencies are timeouts, and cross-component signalling is done
+with :class:`Event`.
+
+The engine is deliberately SimPy-flavoured but self-contained (the
+reproduction environment is offline) and fully deterministic: events
+scheduled for the same timestamp fire in schedule order, so a given seed
+always produces an identical trace.  Time is a float in *simulated
+cycles* of the machine being modelled; helpers for converting to
+nanoseconds/microseconds live on the machine parameter objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (double-trigger, bad yields...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, not yet processed
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* with either a value (:meth:`succeed`) or an
+    exception (:meth:`fail`).  Callbacks registered before processing run
+    in registration order when the event is popped from the event heap.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_state", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = _PENDING
+        self._defused = False
+
+    # -- inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering --------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.env._schedule(self, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the same outcome as another (for chaining)."""
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(event._value)
+
+    # -- engine internals ---------------------------------------------
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if self._exc is not None and not self._defused:
+            # Nobody waited on a failed event: surface the error rather
+            # than losing it silently.
+            raise self._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        st = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {st[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class _ConditionValue:
+    """Ordered mapping of events -> values for AllOf/AnyOf results."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+
+    def __iter__(self):
+        return iter(self.todict().values())
+
+    def todict(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._exc is None}
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed(_ConditionValue([]))
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                if ev.callbacks is None:
+                    self._check(ev)
+                else:
+                    ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+        elif self._satisfied():
+            self.succeed(_ConditionValue(self._events))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self._events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The generator yields :class:`Event` instances; the process resumes
+    when the yielded event fires, receiving the event's value (or having
+    the event's exception thrown into it).  The Process is itself an
+    Event that fires with the generator's return value when it finishes.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        env: "Environment",
+        gen: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(gen, "throw"):
+            raise SimulationError(f"process requires a generator, got {gen!r}")
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self.name}")
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        wake = Event(self.env)
+        wake.callbacks.append(self._resume)
+        wake.succeed()
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if self._interrupts:
+                    intr = self._interrupts.pop(0)
+                    next_ev = self.gen.throw(intr)
+                elif event._exc is not None:
+                    event._defused = True
+                    next_ev = self.gen.throw(event._exc)
+                else:
+                    next_ev = self.gen.send(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                if self._state == _PENDING:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                if self._state == _PENDING:
+                    self.fail(exc)
+                return
+
+            if not isinstance(next_ev, Event):
+                env._active_process = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}"
+                )
+                self.gen.throw(err)
+                raise err
+
+            if next_ev.callbacks is not None:
+                # Not yet processed: wait for it.
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+                env._active_process = None
+                return
+            # Already processed: loop and continue immediately with its
+            # outcome (common with pre-fired events).
+            event = next_ev
+
+
+class Environment:
+    """The simulation environment: clock + event heap + factories."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the given time or event; returns the event's value.
+
+        With ``until=None`` runs until the event queue drains.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+        if stop_event is not None:
+            raise SimulationError(
+                f"run() ran out of events before {stop_event!r} triggered"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,128 @@
+"""Tests for the pool allocator vs the GNU arena allocator (§III-B)."""
+
+import pytest
+
+from repro.bgq import BGQMachine
+from repro.converse.alloc import GnuAllocator, PoolAllocator, make_allocator
+from repro.sim import Environment
+
+
+def one_node():
+    env = Environment()
+    m = BGQMachine(env, 1)
+    return env, m.node(0)
+
+
+def test_make_allocator_kinds():
+    env, node = one_node()
+    assert isinstance(make_allocator(node, "pool"), PoolAllocator)
+    assert isinstance(make_allocator(node, "gnu"), GnuAllocator)
+    with pytest.raises(ValueError):
+        make_allocator(node, "jemalloc")
+
+
+def test_pool_reuses_freed_buffers():
+    env, node = one_node()
+    alloc = PoolAllocator(node)
+    log = []
+
+    def worker():
+        t = node.thread(0)
+        b1 = yield from alloc.malloc(t, 128)
+        yield from alloc.free(t, b1)
+        b2 = yield from alloc.malloc(t, 128)
+        log.append(b1 is b2)
+
+    env.process(worker())
+    env.run()
+    assert log == [True]
+    assert alloc.pool_hits == 1
+    assert alloc.pool_misses == 1  # only the first malloc hit the heap
+
+
+def test_pool_free_goes_to_creator_thread():
+    """Cross-thread free: buffer returns to its creator's pool."""
+    env, node = one_node()
+    alloc = PoolAllocator(node)
+    log = []
+
+    def flow():
+        t0, t9 = node.thread(0), node.thread(9)
+        buf = yield from alloc.malloc(t0, 64)
+        assert buf.owner_tid == 0
+        yield from alloc.free(t9, buf)  # freed by a different thread
+        again = yield from alloc.malloc(t0, 64)
+        log.append(buf is again)
+
+    env.process(flow())
+    env.run()
+    assert log == [True]
+
+
+def test_pool_spills_past_threshold():
+    env, node = one_node()
+    alloc = PoolAllocator(node, pool_threshold=2)
+
+    def flow():
+        t = node.thread(0)
+        bufs = []
+        for _ in range(4):
+            b = yield from alloc.malloc(t, 32)
+            bufs.append(b)
+        for b in bufs:
+            yield from alloc.free(t, b)
+
+    env.process(flow())
+    env.run()
+    assert alloc.spills == 2  # pool holds 2, the rest spill to the heap
+
+
+def test_pool_avoids_arena_mutex_contention():
+    """The Fig. 6 effect: 64 threads malloc+free, pool beats arena."""
+
+    def run(kind):
+        env, node = one_node()
+        alloc = make_allocator(node, kind)
+        n_threads, n_bufs = 64, 20
+        finished = []
+
+        def worker(tid):
+            t = node.thread(tid)
+            bufs = []
+            for _ in range(n_bufs):
+                b = yield from alloc.malloc(t, 256)
+                bufs.append(b)
+            for b in bufs:
+                yield from alloc.free(t, b)
+            finished.append(tid)
+
+        for tid in range(n_threads):
+            env.process(worker(tid))
+        env.run()
+        assert len(finished) == n_threads
+        return env.now, node.arena_allocator.total_contention_wait()
+
+    t_gnu, wait_gnu = run("gnu")
+    t_pool, wait_pool = run("pool")
+    assert t_pool < t_gnu
+    assert wait_pool < wait_gnu
+
+
+def test_pool_warm_reuse_never_touches_arena():
+    """After warmup, a malloc/free cycle stays entirely in L2 pools."""
+    env, node = one_node()
+    alloc = PoolAllocator(node)
+
+    def flow():
+        t = node.thread(0)
+        b = yield from alloc.malloc(t, 64)
+        yield from alloc.free(t, b)
+        before = node.arena_allocator.mallocs + node.arena_allocator.frees
+        for _ in range(10):
+            b = yield from alloc.malloc(t, 64)
+            yield from alloc.free(t, b)
+        after = node.arena_allocator.mallocs + node.arena_allocator.frees
+        assert before == after
+
+    env.process(flow())
+    env.run()

@@ -1,0 +1,83 @@
+"""Tests for quiescence detection."""
+
+import pytest
+
+from repro.converse import ConverseRuntime, RunConfig
+from repro.converse.messages import ConverseMessage
+from repro.converse.quiescence import QuiescenceDetector
+from repro.sim import Environment
+
+
+def build(nnodes=2, workers=2):
+    env = Environment()
+    rt = ConverseRuntime(env, RunConfig(nnodes=nnodes, workers_per_process=workers))
+    return env, rt
+
+
+def test_quiescence_after_message_storm():
+    env, rt = build()
+    received = []
+
+    def sink(pe, msg):
+        received.append(msg.payload)
+
+    hid = rt.register_handler(sink)
+
+    def kick(pe, msg):
+        for r in range(rt.config.total_pes):
+            for i in range(5):
+                yield from pe.send(r, hid, 64, (r, i))
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt)
+    done = qd.start()
+    rt.start()
+    t = env.run(until=done)
+    rt.stop()
+    # Quiescence fired only after everything was delivered.
+    assert len(received) == rt.config.total_pes * 5
+    assert t > 0
+    assert qd.rounds >= 2
+
+
+def test_quiescence_waits_for_chains():
+    """A message chain keeps the system non-quiescent until it ends."""
+    env, rt = build(nnodes=1, workers=2)
+    chain_len = 10
+    log = []
+
+    def relay(pe, msg):
+        hops = msg.payload
+        log.append((env.now, hops))
+        if hops > 0:
+            yield from pe.send((pe.rank + 1) % 2, hid, 64, hops - 1)
+
+    hid = rt.register_handler(relay)
+    rt.pes[0].local_q.append(ConverseMessage(hid, 0, chain_len, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=2.0)
+    done = qd.start()
+    rt.start()
+    t_q = env.run(until=done)
+    rt.stop()
+    t_last_hop = log[-1][0]
+    assert len(log) == chain_len + 1
+    assert t_q > t_last_hop  # declared only after the chain finished
+
+
+def test_quiescence_on_idle_system_is_fast():
+    env, rt = build(nnodes=1, workers=1)
+    qd = QuiescenceDetector(rt, poll_interval_us=1.0)
+    done = qd.start()
+    rt.start()
+    t = env.run(until=done)
+    rt.stop()
+    assert t < 10_000  # a few polls of an idle system
+
+
+def test_start_is_idempotent_while_armed():
+    env, rt = build(nnodes=1, workers=1)
+    qd = QuiescenceDetector(rt)
+    e1 = qd.start()
+    e2 = qd.start()
+    assert e1 is e2

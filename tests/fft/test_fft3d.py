@@ -1,0 +1,167 @@
+"""Tests for the distributed 3D FFT: geometry and end-to-end numerics."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Charm
+from repro.converse import RunConfig
+from repro.fft import FFT3D, PencilGrid, choose_grid, fft_flops, fft_instructions, split_ranges
+
+
+# ---------- geometry ----------------------------------------------------------
+
+def test_split_ranges_cover_exactly():
+    rngs = split_ranges(10, 3)
+    assert rngs == [(0, 4), (4, 7), (7, 10)]
+    assert split_ranges(8, 8) == [(i, i + 1) for i in range(8)]
+
+
+def test_split_ranges_validate():
+    with pytest.raises(ValueError):
+        split_ranges(4, 5)
+    with pytest.raises(ValueError):
+        split_ranges(4, 0)
+
+
+def test_choose_grid_near_square():
+    assert choose_grid(16, 64) == (4, 4)
+    assert choose_grid(8, 64) == (2, 4)
+    assert choose_grid(1, 8) == (1, 1)
+
+
+def test_choose_grid_respects_problem_size():
+    # 64 chares on an 8^3 problem: 8x8 fits exactly.
+    assert choose_grid(64, 8) == (8, 8)
+    with pytest.raises(ValueError):
+        choose_grid(128, 8)  # would need a factor > 8
+
+
+def test_pencil_grid_shapes_consistent():
+    g = PencilGrid(8, 2, 4)
+    for r in range(2):
+        for c in range(4):
+            zx, zy, zz = g.z_shape(r, c)
+            assert zz == 8
+            yx, yy, yz = g.y_shape(r, c)
+            assert yy == 8
+            xx, xy_, xz = g.x_shape(r, c)
+            assert xx == 8
+
+
+def test_scatter_gather_z_roundtrip():
+    g = PencilGrid(8, 2, 2)
+    rng = np.random.default_rng(0)
+    full = rng.standard_normal((8, 8, 8)) + 0j
+    blocks = g.scatter_z(full)
+    assert np.allclose(g.gather_z(blocks), full)
+
+
+def test_block_bytes_sum_to_whole_grid():
+    g = PencilGrid(8, 2, 4)
+    total = sum(
+        g.zy_block_bytes(r, c, k)
+        for r in range(2)
+        for c in range(4)
+        for k in range(4)
+    )
+    assert total == 8 * 8 * 8 * 16  # every element moved exactly once
+
+
+def test_fft_cost_model():
+    assert fft_flops(1) == 0
+    assert fft_flops(8) == pytest.approx(5 * 8 * 3)
+    assert fft_instructions(8, qpx=True) * 4 == pytest.approx(fft_flops(8))
+    assert fft_instructions(8, qpx=False) == pytest.approx(fft_flops(8))
+    with pytest.raises(ValueError):
+        fft_flops(0)
+
+
+# ---------- end-to-end ------------------------------------------------------
+
+def run_fft(n=8, nchares=4, use_m2m=False, iterations=1, nnodes=2, workers=2,
+            comm_threads=0, capture_forward=True):
+    charm = Charm(
+        RunConfig(
+            nnodes=nnodes,
+            workers_per_process=workers,
+            comm_threads_per_process=comm_threads,
+        )
+    )
+    driver = FFT3D(
+        charm,
+        n,
+        nchares=nchares,
+        use_m2m=use_m2m,
+        iterations=iterations,
+        capture_forward=capture_forward,
+    )
+    result = driver.run()
+    return driver, result
+
+
+def test_p2p_forward_matches_numpy():
+    driver, result = run_fft(n=8, nchares=4, use_m2m=False)
+    got = driver.grid.gather_x(result.forward_blocks)
+    want = np.fft.fftn(driver.input)
+    assert np.allclose(got, want, atol=1e-9)
+
+
+def test_p2p_roundtrip_restores_input():
+    driver, result = run_fft(n=8, nchares=4, use_m2m=False)
+    got = driver.grid.gather_z(result.blocks)
+    assert np.allclose(got, driver.input, atol=1e-9)
+
+
+def test_m2m_forward_matches_numpy():
+    driver, result = run_fft(
+        n=8, nchares=4, use_m2m=True, nnodes=2, workers=2, comm_threads=1
+    )
+    got = driver.grid.gather_x(result.forward_blocks)
+    want = np.fft.fftn(driver.input)
+    assert np.allclose(got, want, atol=1e-9)
+
+
+def test_m2m_roundtrip_restores_input():
+    driver, result = run_fft(
+        n=8, nchares=4, use_m2m=True, nnodes=2, workers=2, comm_threads=1
+    )
+    got = driver.grid.gather_z(result.blocks)
+    assert np.allclose(got, driver.input, atol=1e-9)
+
+
+def test_p2p_and_m2m_numerics_identical():
+    d1, r1 = run_fft(n=8, nchares=4, use_m2m=False)
+    d2, r2 = run_fft(n=8, nchares=4, use_m2m=True, comm_threads=1)
+    a = d1.grid.gather_x(r1.forward_blocks)
+    b = d2.grid.gather_x(r2.forward_blocks)
+    assert np.allclose(a, b, atol=1e-9)
+
+
+def test_multiple_iterations_counted():
+    driver, result = run_fft(n=8, nchares=4, iterations=3)
+    assert len(result.step_times) == 3
+    assert result.step_times == sorted(result.step_times)
+    assert result.mean_step_time > 0
+
+
+def test_single_chare_degenerate_case():
+    driver, result = run_fft(n=8, nchares=1, nnodes=1, workers=1)
+    got = driver.grid.gather_z(result.blocks)
+    assert np.allclose(got, driver.input, atol=1e-9)
+
+
+def test_fine_grained_m2m_beats_p2p():
+    """Table I's headline: at the strong-scaling limit (one pencil per
+    node, every transpose block a small remote message), m2m completes
+    a step substantially faster than p2p."""
+    common = dict(n=8, nchares=8, nnodes=8, workers=1, iterations=3,
+                  capture_forward=False)
+    _, r_p2p = run_fft(use_m2m=False, comm_threads=1, **common)
+    _, r_m2m = run_fft(use_m2m=True, comm_threads=1, **common)
+    assert r_p2p.mean_step_time / r_m2m.mean_step_time > 1.4
+
+
+def test_iterations_validate():
+    charm = Charm(RunConfig(nnodes=1, workers_per_process=1))
+    with pytest.raises(ValueError):
+        FFT3D(charm, 8, iterations=0)

@@ -1,0 +1,99 @@
+"""Tests for atom migration between patches."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.charm import Charm
+from repro.converse import RunConfig
+from repro.namd.charm_app import NamdCharm
+from repro.namd.simulation import SequentialMD
+from repro.namd.system import APOA1, MolecularSystem, build_system
+
+
+def multi_patch_system(n=700, cutoff=7.5, temperature=1.0, seed=21):
+    """A system hot and small-celled enough that atoms actually migrate."""
+    spec_like = dataclasses.replace(APOA1, cutoff=cutoff)
+    return build_system(
+        n, spec_like=spec_like, temperature=temperature,
+        bond_fraction=0.0, seed=seed,
+    )
+
+
+def make_app(system, migrate_every, n_steps, pme=True, **kw):
+    charm = Charm(RunConfig(nnodes=2, workers_per_process=2))
+    return NamdCharm(
+        charm, system, n_steps=n_steps, pme_every=2, pme_enabled=pme,
+        dt=0.05, migrate_every=migrate_every, **kw
+    )
+
+
+def test_migration_conserves_atoms():
+    system = multi_patch_system()
+    app = make_app(system, migrate_every=2, n_steps=4)
+    assert app.patch_grid.n_patches > 1
+    app.run()
+    owned = np.concatenate(
+        [app.patches.element(p).atoms for p in range(app.patch_grid.n_patches)]
+    )
+    assert sorted(owned.tolist()) == list(range(system.n_atoms))
+
+
+def test_migration_moves_atoms_to_owning_patch():
+    system = multi_patch_system()
+    app = make_app(system, migrate_every=2, n_steps=4)
+    app.run()
+    grid = app.patch_grid
+    moved = 0
+    misplaced = 0
+    for p in range(grid.n_patches):
+        ch = app.patches.element(p)
+        for pos in ch.pos % app.box_arr:
+            # Atoms were re-binned at the last migration; they may have
+            # drifted across a boundary in the steps since.
+            if grid.patch_of_position(pos) != p:
+                misplaced += 1
+        initial = set(grid.bin_atoms(system.positions)[p].tolist())
+        moved += len(set(ch.atoms.tolist()) - initial)
+    assert moved > 0  # the system is hot enough that migration happened
+    assert misplaced <= moved  # re-binning kept ownership largely current
+
+
+def test_migration_matches_sequential_trajectory():
+    """With migration the distributed run still tracks the reference
+    (forces are identical; only ownership changes)."""
+    sys_a = multi_patch_system(n=500)
+    sys_b = multi_patch_system(n=500)
+    md = SequentialMD(sys_b, pme_every=2, dt=0.05)
+    md.run(4)
+
+    app = make_app(sys_a, migrate_every=2, n_steps=4)
+    app.run()
+    got = app.gather_positions()
+    want = sys_b.positions % sys_b.box
+    assert np.allclose(got, want, atol=1e-6)
+
+
+def test_migration_rejects_bonded_systems():
+    system = build_system(200, temperature=0.0, bond_fraction=0.5, seed=3)
+    charm = Charm(RunConfig(nnodes=1, workers_per_process=2))
+    with pytest.raises(ValueError, match="unbonded"):
+        NamdCharm(charm, system, migrate_every=2)
+
+
+def test_migrate_every_validates():
+    system = multi_patch_system()
+    charm = Charm(RunConfig(nnodes=1, workers_per_process=2))
+    with pytest.raises(ValueError):
+        NamdCharm(charm, system, migrate_every=0)
+
+
+def test_no_migration_when_disabled():
+    system = multi_patch_system()
+    app = make_app(system, migrate_every=None, n_steps=2)
+    app.run()
+    for p in range(app.patch_grid.n_patches):
+        ch = app.patches.element(p)
+        initial = set(app.patch_grid.bin_atoms(system.positions)[p].tolist())
+        assert set(ch.atoms.tolist()) == initial

@@ -1,0 +1,43 @@
+"""DES-vs-model cross-validation (the overlap between the engines)."""
+
+import pytest
+
+from repro.perfmodel.validate import (
+    CrossCheck,
+    fft_speedup_crosscheck,
+    pingpong_mode_crosscheck,
+    run_all,
+    smt_crosscheck,
+)
+
+
+def test_crosscheck_ratio_math():
+    c = CrossCheck("x", 2.0, 4.0, tolerance_ratio=2.5)
+    assert c.ratio == pytest.approx(2.0)
+    assert c.ok
+    assert not CrossCheck("y", 1.0, 3.0, 2.5).ok
+
+
+def test_smt_des_matches_closed_form():
+    c = smt_crosscheck()
+    assert c.ok, str(c)
+    assert c.ratio < 1.02  # same mechanism, must agree tightly
+
+
+def test_pingpong_smp_delta_matches_instruction_count():
+    c = pingpong_mode_crosscheck()
+    assert c.ok, str(c)
+
+
+def test_fft_speedup_des_vs_model():
+    c = fft_speedup_crosscheck(n=16, nnodes=8, iterations=2)
+    assert c.des_value > 1.2  # both engines agree m2m wins...
+    assert c.model_value > 1.2
+    assert c.ok, str(c)  # ...by a comparable factor
+
+
+def test_run_all_reports_every_check():
+    checks = run_all()
+    assert len(checks) == 3
+    for c in checks:
+        assert c.ok, str(c)

@@ -1,0 +1,164 @@
+"""Unit tests for mutexes, semaphores and stores."""
+
+import pytest
+
+from repro.sim import Environment, Mutex, Semaphore, SimulationError, Store
+
+
+def test_mutex_mutual_exclusion_and_fifo():
+    env = Environment()
+    m = Mutex(env)
+    log = []
+
+    def worker(tag, hold):
+        yield from m.acquire()
+        log.append(("in", tag, env.now))
+        yield env.timeout(hold)
+        log.append(("out", tag, env.now))
+        yield from m.release()
+
+    env.process(worker("a", 10))
+    env.process(worker("b", 5))
+    env.process(worker("c", 5))
+    env.run()
+    # Strict FIFO: a then b then c, no overlap.
+    assert [e[1] for e in log] == ["a", "a", "b", "b", "c", "c"]
+    assert log[2][2] == 10 and log[4][2] == 15
+
+
+def test_mutex_acquire_cost_charged_even_uncontended():
+    env = Environment()
+    m = Mutex(env, acquire_cost=7)
+
+    def worker():
+        yield from m.acquire()
+        assert env.now == 7
+        yield from m.release()
+
+    env.process(worker())
+    env.run()
+    assert m.stats.acquisitions == 1
+    assert m.stats.contended == 0
+
+
+def test_mutex_contention_stats():
+    env = Environment()
+    m = Mutex(env)
+
+    def holder():
+        yield from m.acquire()
+        yield env.timeout(20)
+        yield from m.release()
+
+    def waiter():
+        yield env.timeout(1)
+        yield from m.acquire()
+        yield from m.release()
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert m.stats.acquisitions == 2
+    assert m.stats.contended == 1
+    assert m.stats.total_wait == pytest.approx(19)
+    assert m.stats.max_wait == pytest.approx(19)
+    assert m.stats.mean_wait == pytest.approx(19 / 2)
+
+
+def test_mutex_try_acquire():
+    env = Environment()
+    m = Mutex(env)
+    assert m.try_acquire()
+    assert not m.try_acquire()
+    m.release_nowait()
+    assert m.try_acquire()
+
+
+def test_mutex_release_unlocked_is_error():
+    env = Environment()
+    m = Mutex(env)
+
+    def bad():
+        yield from m.release()
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_semaphore_counting():
+    env = Environment()
+    s = Semaphore(env, value=2)
+    log = []
+
+    def worker(tag):
+        yield from s.acquire()
+        log.append((tag, env.now))
+
+    def releaser():
+        yield env.timeout(10)
+        s.release()
+
+    for tag in "abc":
+        env.process(worker(tag))
+    env.process(releaser())
+    env.run()
+    assert log == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_semaphore_negative_init_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Semaphore(env, value=-1)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    st = Store(env)
+    got = []
+
+    def consumer():
+        x = yield from st.get()
+        got.append((x, env.now))
+
+    def producer():
+        yield env.timeout(5)
+        st.put("msg")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("msg", 5)]
+
+
+def test_store_buffers_when_no_getter():
+    env = Environment()
+    st = Store(env)
+    st.put(1)
+    st.put(2)
+    assert len(st) == 2
+    assert st.try_get() == 1
+    assert st.try_get() == 2
+    assert st.try_get() is None
+
+
+def test_store_fifo_getters():
+    env = Environment()
+    st = Store(env)
+    got = []
+
+    def consumer(tag):
+        x = yield from st.get()
+        got.append((tag, x))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1)
+        st.put("A")
+        st.put("B")
+
+    env.process(producer())
+    env.run()
+    assert got == [("first", "A"), ("second", "B")]
