@@ -1,0 +1,17 @@
+# Convenience entry points; see README.md and docs/TRACING.md.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test trace-test trace-demo bench
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+trace-test:      ## just the tracing-subsystem tests (pytest -m trace)
+	$(PYTHON) -m pytest -q -m trace tests/trace
+
+trace-demo:      ## traced mini-NAMD run + Chrome/Perfetto + manifest export
+	$(PYTHON) -m repro.trace.demo
+
+bench:           ## regenerate every paper table/figure into benchmarks/output/
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -3,22 +3,32 @@
 Paper: with standard PME each thread sends/receives 36 small messages
 per FFT phase (long green PME stretches, much white idle); with
 many-to-many the whole burst goes in one call and the PME phase
-shrinks.  This regenerates ASCII timelines from the DES.
+shrinks.  This regenerates ASCII timelines from the DES and archives
+the interactive trace artifacts (Chrome ``trace_event`` JSON +
+manifest) as ``output/fig03_{std,m2m}.{trace,manifest}.json``.
 """
 
-from repro.harness import fig3_pme_timeline
+import pathlib
+
+from repro.harness import export_trace_artifacts, fig3_pme_timeline
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
 def test_fig3_pme_timeline(benchmark, report):
     data = benchmark.pedantic(
         lambda: fig3_pme_timeline(), rounds=1, iterations=1
     )
+    paths = export_trace_artifacts(data["std_run"], _OUTPUT_DIR, "fig03_std")
+    export_trace_artifacts(data["m2m_run"], _OUTPUT_DIR, "fig03_m2m")
     report(
         "Fig. 3: PME-step timelines (R=integrate P=nonbonded G=pme .=idle)\n"
         "--- standard PME (p2p) ---\n" + data["standard"] + "\n"
-        "--- optimized PME (m2m) ---\n" + data["optimized"]
+        "--- optimized PME (m2m) ---\n" + data["optimized"] + "\n"
+        f"trace artifacts: output/fig03_std.trace.json, output/fig03_m2m.trace.json"
     )
     # Both timelines show the full activity mix.
-    for art in data.values():
+    for art in (data["standard"], data["optimized"]):
         assert "G" in art  # PME work present
         assert "R" in art or "P" in art  # integration / nonbonded present
+    assert pathlib.Path(paths["chrome"]).stat().st_size > 0

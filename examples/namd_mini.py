@@ -6,7 +6,9 @@
 2. Runs the same system distributed over a simulated 2-node BG/Q
    partition and verifies the trajectories agree.
 3. Renders a Projections-style per-thread timeline (the paper's
-   Figs. 3/9/10 style).
+   Figs. 3/9/10 style) and exports the interactive trace artifacts
+   (Chrome ``trace_event`` JSON for chrome://tracing / Perfetto, plus
+   a machine-readable run manifest) — see docs/TRACING.md.
 
 Run:  python examples/namd_mini.py
 """
@@ -18,6 +20,7 @@ from repro.charm import Charm
 from repro.converse import RunConfig
 from repro.namd import NamdCharm, SequentialMD, build_system
 from repro.sim import render_ascii_timeline
+from repro.trace import format_utilization_table, write_chrome_trace, write_run_manifest
 
 
 def main() -> None:
@@ -52,12 +55,24 @@ def main() -> None:
     print(f"  simulated step time: {app.step_log[-1][0] / steps / CYCLES_PER_US:.0f} us")
     print(f"  PME reciprocal energy: {app.recip_energies[-1]:.6f} e^2/A")
 
-    rec = charm.recorder
-    rec.finish()
-    busy, useful = rec.utilization()
+    tracer = charm.tracer
+    tracer.finish()
+    busy, useful = tracer.utilization()
     print(f"  utilization: busy={busy * 100:.0f}% useful={useful * 100:.0f}%")
+    print(f"  messages sent: {tracer.get('converse.msgs_sent'):.0f}"
+          f" ({tracer.get('converse.bytes_sent') / 1024:.0f} KiB),"
+          f" L2 atomic ops: {tracer.get('l2.atomic_ops'):.0f}")
     print("\nper-thread timeline (first 6 PEs):")
-    print(render_ascii_timeline(rec, width=90, threads=rec.threads()[:6]))
+    print(render_ascii_timeline(tracer, width=90, threads=tracer.tracks()[:6]))
+    print("\nper-PE utilization (us per category):")
+    print(format_utilization_table(tracer, scale=1.0 / CYCLES_PER_US, unit="us"))
+    chrome = write_chrome_trace(tracer, "namd_mini.trace.json",
+                                scale=1.0 / CYCLES_PER_US, process_name="namd_mini")
+    manifest = write_run_manifest(tracer, "namd_mini.manifest.json",
+                                  label="namd_mini", scale=1.0 / CYCLES_PER_US,
+                                  time_unit="us", n_atoms=n_atoms, steps=steps)
+    print(f"\nwrote {chrome} (open in chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote {manifest}")
 
 
 if __name__ == "__main__":

@@ -196,6 +196,21 @@ class MessagingUnit:
         #: Completion routing for rget responses arriving back here.
         self._pending_rgets: Dict[int, Descriptor] = {}
         self._rget_seq = 0
+        #: Packets of any kind that arrived at this node's MU.  Native
+        #: statistic (always counted); the Converse runtime snapshots it
+        #: into the tracer's ``mu.packets_received`` counter.
+        self.packets_received = 0
+
+    # -- aggregate statistics ----------------------------------------------
+    @property
+    def descriptors_processed(self) -> int:
+        """Descriptors processed across all injection FIFOs."""
+        return sum(f.descriptors_processed for f in self._injection)
+
+    @property
+    def packets_injected(self) -> int:
+        """Packets put on the wire across all injection FIFOs."""
+        return sum(f.packets_injected for f in self._injection)
 
     # -- FIFO allocation ---------------------------------------------------
     def allocate_injection_fifo(self) -> InjectionFifo:
@@ -251,6 +266,7 @@ class MessagingUnit:
 
     # -- receive path (wired as network delivery target) -------------------
     def receive_packet(self, packet: Packet) -> None:
+        self.packets_received += 1
         if packet.kind == MEMFIFO:
             fifo_id = packet.rec_fifo
             if not 0 <= fifo_id < len(self._reception):

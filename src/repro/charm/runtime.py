@@ -47,6 +47,16 @@ class Charm:
         self._section_hid: Optional[int] = None
         self.done: Event = self.env.event()
         self._started = False
+        #: Entry methods executed.  Native statistic (always counted);
+        #: snapshotted into the tracer's ``charm.entries`` counter.
+        self.entries_executed = 0
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.add_finalizer(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        """Snapshot Charm-layer statistics into the tracer (idempotent)."""
+        if self.entries_executed:
+            self.runtime.tracer.counters["charm.entries"] = self.entries_executed
 
     # -- entry-method plumbing ---------------------------------------------
     def set_entry_category(self, method_name: str, category: str) -> None:
@@ -77,6 +87,7 @@ class Charm:
             array_name, index, method, args = msg.payload
             array = charm.arrays[array_name]
             chare = array.elements[index]
+            charm.entries_executed += 1
             yield from pe.thread.compute(charm.params.charm_entry_instr)
             t0 = charm.env.now
             result = getattr(chare, method)(*args)
@@ -180,6 +191,11 @@ class Charm:
     @property
     def recorder(self):
         return self.runtime.recorder
+
+    @property
+    def tracer(self):
+        """The run's Projections-style tracer (None when tracing is off)."""
+        return self.runtime.tracer
 
     @property
     def npes(self) -> int:

@@ -35,13 +35,19 @@ class GnuAllocator:
         self.node = node
         self.params = params
         self.arena = node.arena_allocator
+        # Native statistics, snapshotted into the tracer's alloc.*
+        # counters at the end of a traced run.
+        self.mallocs = 0
+        self.frees = 0
 
     def malloc(self, thread: HWThread, size: int):
+        self.mallocs += 1
         buf = yield from self.arena.malloc(thread, size)
         buf.owner_tid = thread.tid
         return buf
 
     def free(self, thread: HWThread, buffer: Buffer):
+        self.frees += 1
         yield from self.arena.free(thread, buffer)
 
 
@@ -68,6 +74,10 @@ class PoolAllocator:
         self.pool_threshold = pool_threshold
         self.arena = node.arena_allocator
         self._pools: Dict[int, L2AtomicQueue] = {}
+        # Native statistics, snapshotted into the tracer's alloc.*
+        # counters at the end of a traced run.
+        self.mallocs = 0
+        self.frees = 0
         self.pool_hits = 0
         self.pool_misses = 0
         self.spills = 0
@@ -87,6 +97,7 @@ class PoolAllocator:
 
     def malloc(self, thread: HWThread, size: int):
         p = self.params
+        self.mallocs += 1
         pool = self._pool(thread.tid)
         yield from thread.compute(p.pool_alloc_instr)
         buf = yield from pool.dequeue(thread)
@@ -102,6 +113,7 @@ class PoolAllocator:
 
     def free(self, thread: HWThread, buffer: Buffer):
         p = self.params
+        self.frees += 1
         pool = self._pool(buffer.owner_tid if buffer.owner_tid >= 0 else thread.tid)
         yield from thread.compute(p.pool_alloc_instr)
         if len(pool) < self.pool_threshold:

@@ -73,6 +73,9 @@ class RunConfig:
     pe_queue_size: int = 1024
     #: Record per-PE timelines (Figs. 3/9/10); costs memory, off by default.
     record_timeline: bool = False
+    #: Enable the Projections-style tracer (spans + named counters +
+    #: exporters, see repro.trace).  ``record_timeline`` implies it.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_kind not in ("l2", "mutex"):
@@ -231,10 +234,21 @@ class ConverseRuntime:
         self.handler_categories: Dict[int, str] = {}
         #: Cumulative machine-layer sends (quiescence accounting).
         self.messages_sent = 0
+        # Native send/delivery statistics (always maintained; snapshotted
+        # into the tracer's counters by _flush_stats at Tracer.finish()).
+        self.messages_delivered = 0
+        self.intraprocess_sends = 0
+        self.eager_sends = 0
+        self.rendezvous_sends = 0
         self.stopped = False
         self.stop_wakeup = WakeupSource(env, name="runtime-stop", params=params)
-        self.recorder: Optional[TimelineRecorder] = (
-            TimelineRecorder(env) if config.record_timeline else None
+        #: The Projections-style tracer (repro.trace): spans + counters.
+        #: None when tracing is off — every instrumentation site across
+        #: the stack guards on that, keeping the disabled path free.
+        self.tracer: Optional[TimelineRecorder] = (
+            TimelineRecorder(env)
+            if (config.record_timeline or config.trace)
+            else None
         )
 
         # Build processes and PEs.  Threads of a node are split evenly
@@ -254,6 +268,112 @@ class ConverseRuntime:
                     proc.pes.append(pe)
                     self.pes.append(pe)
                     rank += 1
+        if self.tracer is not None:
+            self._wire_tracer()
+
+    @property
+    def recorder(self) -> Optional[TimelineRecorder]:
+        """Legacy name for :attr:`tracer` (the old timeline recorder)."""
+        return self.tracer
+
+    #: Comm-thread span tracks start here so they never collide with PE
+    #: ranks (a BG/Q partition in this reproduction stays well below it).
+    COMMTHREAD_TRACK_BASE = 10_000
+
+    def _wire_tracer(self) -> None:
+        """Attach the tracer to span-recording components and name tracks.
+
+        Only components that record *spans* (comm threads, and the env
+        so user code can reach the tracer) hold a ``tracer`` attribute;
+        counter-producing components keep plain integer statistics
+        unconditionally and :meth:`_flush_stats` snapshots them at
+        ``Tracer.finish()`` — see docs/ARCHITECTURE.md for the hook map.
+        """
+        tracer = self.tracer
+        self.env.tracer = tracer
+        ct_track = self.COMMTHREAD_TRACK_BASE
+        for proc in self.processes:
+            for ct in proc.comm_threads:
+                ct.tracer = tracer
+                ct.track = ct_track
+                tracer.register_track(ct_track, ct.name)
+                ct_track += 1
+        for pe in self.pes:
+            tracer.register_track(pe.rank, f"pe{pe.rank}")
+        tracer.add_finalizer(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        """Snapshot component statistics into the tracer's counters.
+
+        Runs from ``Tracer.finish()``.  Assigns (never adds) so calling
+        finish() twice is safe; zero-valued stats are skipped so e.g.
+        ``commthread.*`` counters only appear in runs with comm threads.
+        """
+        tracer = self.tracer
+        counters, per_track = tracer.counters, tracer.track_counters
+
+        def put(name: str, value: float) -> None:
+            if value:
+                counters[name] = value
+
+        def put_tracks(name: str, pairs) -> None:
+            d = {t: v for t, v in pairs if v}
+            if d:
+                counters[name] = sum(d.values())
+                per_track[name] = d
+
+        pes = self.pes
+        put_tracks("converse.msgs_sent", [(pe.rank, pe.msgs_sent) for pe in pes])
+        put_tracks("converse.bytes_sent", [(pe.rank, pe.bytes_sent) for pe in pes])
+        put_tracks(
+            "converse.msgs_executed", [(pe.rank, pe.messages_executed) for pe in pes]
+        )
+        put_tracks(
+            "converse.bytes_received", [(pe.rank, pe.bytes_received) for pe in pes]
+        )
+        put_tracks("sched.idle_entries", [(pe.rank, pe.idle_entries) for pe in pes])
+        put("sched.polls", sum(pe.polls for pe in pes))
+        put("converse.msgs_delivered", self.messages_delivered)
+        put("converse.intraprocess_sends", self.intraprocess_sends)
+        put("converse.eager_sends", self.eager_sends)
+        put("converse.rendezvous_sends", self.rendezvous_sends)
+        put("queue.enqueues", sum(pe.queue.enqueues for pe in pes))
+        put("queue.dequeues", sum(pe.queue.dequeues for pe in pes))
+        put(
+            "l2.atomic_ops",
+            sum(node.l2.op_count for node in self.machine.nodes),
+        )
+        put(
+            "mu.descriptors",
+            sum(node.mu.descriptors_processed for node in self.machine.nodes),
+        )
+        put(
+            "mu.packets_injected",
+            sum(node.mu.packets_injected for node in self.machine.nodes),
+        )
+        put(
+            "mu.packets_received",
+            sum(node.mu.packets_received for node in self.machine.nodes),
+        )
+        contexts = [ctx for proc in self.processes for ctx in proc.client.contexts]
+        put("pami.msgs_sent", sum(c.messages_sent for c in contexts))
+        put("pami.bytes_sent", sum(c.bytes_sent for c in contexts))
+        put("pami.msgs_received", sum(c.messages_received for c in contexts))
+        put("pami.advances", sum(c.advances for c in contexts))
+        put("pami.packets_drained", sum(c.packets_drained for c in contexts))
+        put("pami.work_posted", sum(c.work_posted for c in contexts))
+        put("pami.completions", sum(c.completions_posted for c in contexts))
+        put("pami.rgets", sum(c.rgets for c in contexts))
+        put("pami.rputs", sum(c.rputs for c in contexts))
+        allocs = {id(proc.alloc): proc.alloc for proc in self.processes}.values()
+        put("alloc.mallocs", sum(a.mallocs for a in allocs))
+        put("alloc.frees", sum(a.frees for a in allocs))
+        put("alloc.pool_hits", sum(getattr(a, "pool_hits", 0) for a in allocs))
+        put("alloc.pool_misses", sum(getattr(a, "pool_misses", 0) for a in allocs))
+        put("alloc.spills", sum(getattr(a, "spills", 0) for a in allocs))
+        cts = [ct for proc in self.processes for ct in proc.comm_threads]
+        put_tracks("commthread.items", [(ct.track, ct.items_processed) for ct in cts])
+        put_tracks("commthread.wakeups", [(ct.track, ct.wakeup_count) for ct in cts])
 
     # -- handler registry ------------------------------------------------------
     def register_handler(self, fn: Callable, category: str = "sched") -> int:
@@ -312,12 +432,15 @@ class ConverseRuntime:
         proc = src_pe.process
         dst_pe = self.pes[dst_rank]
         self.messages_sent += 1
-        rec = self.recorder
+        src_pe.msgs_sent += 1
+        src_pe.bytes_sent += nbytes
+        rec = self.tracer
         if rec is not None:
             rec.begin(src_pe.rank, "comm")
 
         if dst_pe.process is proc:
             # Intra-process: pointer exchange into the peer's L2 queue.
+            self.intraprocess_sends += 1
             yield from thread.compute(p.intranode_deliver_instr)
             msg = ConverseMessage(
                 handler_id, nbytes, payload, src_pe.rank, dst_rank,
@@ -341,6 +464,7 @@ class ConverseRuntime:
         data = (dst_rank, handler_id, nbytes, payload, env.now, priority)
 
         if nbytes <= p.rendezvous_threshold:
+            self.eager_sends += 1
             if proc.comm_threads:
                 ctx = proc.next_send_context()
 
@@ -360,6 +484,7 @@ class ConverseRuntime:
             # Eager: the machine layer owns the payload now.
             yield from proc.alloc.free(thread, buf)
         else:
+            self.rendezvous_sends += 1
             token = proc.new_token()
             proc.pending_sends[token] = buf
             ack_ep = proc.inbound_endpoint(src_pe.local_index)
@@ -406,6 +531,7 @@ class ConverseRuntime:
         p = self.params
         dst_rank, handler_id, nbytes, user_payload, sent_at, priority = payload.data
         proc = self._proc_of_context(ctx)
+        self.messages_delivered += 1
         yield from thread.compute(p.converse_recv_instr)
         buf = yield from proc.alloc.malloc(thread, nbytes)
         yield from thread.compute(nbytes / p.memcpy_bytes_per_instr)
@@ -419,6 +545,7 @@ class ConverseRuntime:
         p = self.params
         (dst_rank, handler_id, nbytes, user_payload, src_node, token, ack_ep, sent_at) = payload.data
         proc = self._proc_of_context(ctx)
+        self.messages_delivered += 1
         yield from thread.compute(p.rendezvous_extra_instr / 2)
         desc = yield from ctx.rget(thread, src_node, nbytes)
 

@@ -66,8 +66,15 @@ class PE:
         self._seq = itertools.count()
         #: PAMI context this PE advances itself (modes without comm threads).
         self.context = None
+        # Native statistics: always maintained (an int add each; far
+        # cheaper than tracer calls on the scheduler hot path) and
+        # snapshotted into the tracer's counters at Tracer.finish().
         self.messages_executed = 0
         self.idle_entries = 0
+        self.polls = 0
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._proc = None  # scheduler Process, set at start
 
     # -- sending (called from inside handlers running on this PE) -----------
@@ -98,6 +105,7 @@ class PE:
         Arrivals (network/peer queue + self-sends) drain into the PE's
         prioritized scheduler queue; the best message runs next.
         """
+        self.polls += 1
         while self.local_q:
             msg = self.local_q.popleft()
             heapq.heappush(self._heap, (msg.priority, next(self._seq), msg))
@@ -112,7 +120,7 @@ class PE:
 
     def _execute(self, msg: ConverseMessage):
         p = self.params
-        rec: Optional[TimelineRecorder] = self.runtime.recorder
+        rec: Optional[TimelineRecorder] = self.runtime.tracer
         handler = self.runtime.handlers[msg.handler_id]
         if rec is not None:
             rec.begin(self.rank, self.runtime.handler_categories.get(msg.handler_id, "sched"))
@@ -120,6 +128,7 @@ class PE:
         if result is not None and hasattr(result, "__next__"):
             yield from result
         self.messages_executed += 1
+        self.bytes_received += msg.nbytes
         # Receive-side buffer free (the Fig. 6/Fig. 8 contention source:
         # the buffer was allocated by whichever thread ran the dispatch).
         if msg.buffer is not None:
@@ -132,7 +141,7 @@ class PE:
         env = self.env
         p = self.params
         runtime = self.runtime
-        rec = runtime.recorder
+        rec = runtime.tracer
         advance_ctx = self.context is not None
         while not runtime.stopped:
             msg = yield from self._poll_once()
@@ -157,7 +166,7 @@ class PE:
         p = self.params
         cfg = self.runtime.config
         self.idle_entries += 1
-        rec = self.runtime.recorder
+        rec = self.runtime.tracer
         if rec is not None:
             rec.begin(self.rank, "idle")
         if cfg.idle_poll == "l2":

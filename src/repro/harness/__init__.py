@@ -14,9 +14,10 @@ from .namdbench import (
     table2_stmv100m,
 )
 from .pingpong import FIG4_MODES, FIG4_SIZES, fig4_internode, fig5_intranode, pingpong_oneway_us
-from .report import banner, format_comparison, format_table
+from .report import banner, format_comparison, format_manifest, format_table
 from .timelines import (
     TraceResult,
+    export_trace_artifacts,
     fig3_pme_timeline,
     fig9_commthread_profile,
     fig10_pme_window,
@@ -33,6 +34,7 @@ __all__ = [
     "banner",
     "des_fft_step_us",
     "des_vs_model",
+    "export_trace_artifacts",
     "fig10_pme_window",
     "fig11_bgp_vs_bgq",
     "fig12_stmv20m",
@@ -44,6 +46,7 @@ __all__ = [
     "fig8_l2_atomics",
     "fig9_commthread_profile",
     "format_comparison",
+    "format_manifest",
     "format_table",
     "pingpong_oneway_us",
     "qpx_serial_speedup",

@@ -1,18 +1,27 @@
 """Trace-based figures: timelines and utilization profiles (Figs. 3, 9, 10).
 
-These run mini-NAMD on the DES with the timeline recorder enabled and
-report what the paper's Projections screenshots show:
+These run mini-NAMD on the DES with the unified tracer
+(:mod:`repro.trace`) enabled and report what the paper's Projections
+screenshots show:
 
 * Fig. 3 / Fig. 10 — per-thread timelines of PME steps with standard
   (p2p) vs many-to-many PME, and the number of timesteps completing in
   a fixed simulated window;
 * Fig. 9 — binned CPU-utilization profile with and without
   communication threads.
+
+Each traced run carries its :class:`~repro.trace.Tracer`, so beyond the
+ASCII renderings a run can be exported with
+:func:`export_trace_artifacts` — a Chrome ``trace_event`` JSON (open in
+``chrome://tracing`` or https://ui.perfetto.dev), a per-PE utilization
+table, and a machine-readable manifest — which is what the benchmark
+suite archives under ``benchmarks/output/`` for every trace figure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pathlib
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -22,9 +31,23 @@ from ..charm import Charm
 from ..converse import RunConfig
 from ..namd.charm_app import NamdCharm
 from ..namd.system import build_system
-from ..sim import TimelineRecorder, render_ascii_timeline, utilization_profile
+from ..sim import render_ascii_timeline, utilization_profile
+from ..trace import (
+    Tracer,
+    format_utilization_table,
+    run_manifest,
+    write_chrome_trace,
+    write_run_manifest,
+)
 
-__all__ = ["TraceResult", "run_traced_namd", "fig9_commthread_profile", "fig10_pme_window", "fig3_pme_timeline"]
+__all__ = [
+    "TraceResult",
+    "run_traced_namd",
+    "export_trace_artifacts",
+    "fig9_commthread_profile",
+    "fig10_pme_window",
+    "fig3_pme_timeline",
+]
 
 
 @dataclass
@@ -40,6 +63,29 @@ class TraceResult:
     timeline_ascii: str
     profile: Dict[str, np.ndarray]
     step_times_us: Tuple[float, ...]
+    #: The run's tracer: spans, counters, and exporter input.
+    tracer: Optional[Tracer] = None
+    #: Final counter totals (messages, bytes, polls, L2 ops...).
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization_table(self) -> str:
+        """Per-PE busy/useful table (µs per category)."""
+        return format_utilization_table(
+            self.tracer, scale=1.0 / CYCLES_PER_US, unit="us"
+        )
+
+    def manifest(self, **meta) -> dict:
+        """Machine-readable run record (see repro.trace.run_manifest)."""
+        return run_manifest(
+            self.tracer,
+            label=self.label,
+            scale=1.0 / CYCLES_PER_US,
+            time_unit="us",
+            n_steps=self.n_steps,
+            us_per_step=self.us_per_step,
+            **meta,
+        )
 
 
 def run_traced_namd(
@@ -55,7 +101,7 @@ def run_traced_namd(
     timeline_threads: int = 4,
     cutoff: float = 7.5,
 ) -> TraceResult:
-    """Run mini-NAMD with timeline recording; returns trace metrics.
+    """Run mini-NAMD with the tracer enabled; returns trace metrics.
 
     The default cutoff is shortened (7.5 A vs the production 12 A) so
     the miniature run lands in the paper's fine-grained regime — many
@@ -89,9 +135,9 @@ def run_traced_namd(
     )
     t0 = charm.env.now
     app.run()
-    rec: TimelineRecorder = charm.recorder
-    rec.finish()
-    busy, useful = rec.utilization()
+    tracer: Tracer = charm.tracer
+    tracer.finish()
+    busy, useful = tracer.utilization()
     total = charm.env.now - t0
     step_times = tuple(t / CYCLES_PER_US for t, _ in app.step_log)
     return TraceResult(
@@ -102,11 +148,45 @@ def run_traced_namd(
         busy_fraction=busy,
         useful_fraction=useful,
         timeline_ascii=render_ascii_timeline(
-            rec, width=100, threads=rec.threads()[:timeline_threads]
+            tracer, width=100, threads=tracer.tracks()[:timeline_threads]
         ),
-        profile=utilization_profile(rec, bins=40),
+        profile=utilization_profile(tracer, bins=40),
         step_times_us=step_times,
+        tracer=tracer,
+        counters=dict(tracer.counters),
     )
+
+
+def export_trace_artifacts(
+    result: TraceResult, outdir, basename: str, **meta
+) -> Dict[str, str]:
+    """Write the Chrome trace + manifest for one traced run.
+
+    Returns ``{"chrome": path, "manifest": path}`` — the artifact paths
+    cited in EXPERIMENTS.md's figure→benchmark→trace table.
+    """
+    if result.tracer is None:
+        raise ValueError(f"run {result.label!r} carries no tracer")
+    outdir = pathlib.Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    chrome = write_chrome_trace(
+        result.tracer,
+        str(outdir / f"{basename}.trace.json"),
+        scale=1.0 / CYCLES_PER_US,
+        process_name=result.label,
+        metadata={"label": result.label, "n_steps": result.n_steps, **meta},
+    )
+    manifest = write_run_manifest(
+        result.tracer,
+        str(outdir / f"{basename}.manifest.json"),
+        label=result.label,
+        scale=1.0 / CYCLES_PER_US,
+        time_unit="us",
+        n_steps=result.n_steps,
+        us_per_step=result.us_per_step,
+        **meta,
+    )
+    return {"chrome": chrome, "manifest": manifest}
 
 
 def fig9_commthread_profile(
@@ -168,10 +248,16 @@ def fig10_pme_window(
     }
 
 
-def fig3_pme_timeline(n_atoms: int = 1372, nnodes: int = 4) -> Dict[str, str]:
-    """ASCII timelines of PME-heavy steps, p2p vs m2m (Fig. 3)."""
+def fig3_pme_timeline(n_atoms: int = 1372, nnodes: int = 4) -> Dict[str, object]:
+    """Timelines of PME-heavy steps, p2p vs m2m (Fig. 3).
+
+    Returns the ASCII renderings plus the full traced runs (so callers
+    can export the interactive Chrome/Perfetto artifacts).
+    """
     result = fig10_pme_window(n_atoms=n_atoms, nnodes=nnodes, n_steps=3)
     return {
         "standard": result["std"].timeline_ascii,
         "optimized": result["m2m"].timeline_ascii,
+        "std_run": result["std"],
+        "m2m_run": result["m2m"],
     }

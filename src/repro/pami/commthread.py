@@ -1,4 +1,4 @@
-"""PAMI communication threads (§II-B, §III-C).
+"""PAMI communication threads (paper §II-B hardware context, §III-C design).
 
 A communication thread asynchronously advances one or more PAMI
 contexts.  When there is no messaging work it arms the wakeup unit on
@@ -10,7 +10,11 @@ low-overhead interrupt latency when a packet arrives or work is posted.
 Multiple communication threads can accelerate messages from several
 worker threads" [paper §III-C]: the mapping of worker threads to
 communication threads lives in the Converse machine layer; this class
-is the thread itself.
+is the thread itself.  Its activity is what the paper's Fig. 9
+utilization profiles attribute messaging overhead to — when tracing is
+enabled (see :mod:`repro.trace` and docs/ARCHITECTURE.md) each comm
+thread records ``comm``/``idle`` spans on its own track and feeds the
+``commthread.*`` counters.
 """
 
 from __future__ import annotations
@@ -44,8 +48,15 @@ class CommThread:
         self.params = params
         self.name = name or f"commthread-n{thread.node.node_id}t{thread.tid}"
         self._stopped = False
+        # Native statistics (always maintained; snapshotted into the
+        # tracer's commthread.* counters at the end of a traced run).
         self.wakeup_count = 0
         self.items_processed = 0
+        #: Optional repro.trace.Tracer + span track id for comm/idle
+        #: span recording (wired by the Converse runtime before the
+        #: simulation starts).
+        self.tracer = None
+        self.track: Optional[int] = None
         self.process = env.process(self._run(), name=self.name)
 
     def stop(self) -> None:
@@ -63,6 +74,12 @@ class CommThread:
 
     def _run(self):
         env = self.env
+        tr = self.tracer
+        # Span recording only on comm<->idle transitions: consecutive
+        # advance rounds merge into one "comm" span (keeps the tracer
+        # off the per-round hot path and the timeline uncluttered).
+        if tr is not None:
+            tr.begin(self.track, "comm")
         while not self._stopped:
             n = 0
             for ctx in self.contexts:
@@ -70,9 +87,15 @@ class CommThread:
             self.items_processed += n
             if n == 0 and not self._stopped:
                 # No work: arm the wakeup unit and execute `wait`.
+                if tr is not None:
+                    tr.begin(self.track, "idle")
                 sources = self._wakeup_sources()
                 armed = [(s, s.arm()) for s in sources]
                 yield env.any_of([ev for _, ev in armed])
                 for s, ev in armed:
                     s.disarm(ev)
                 self.wakeup_count += 1
+                if tr is not None:
+                    tr.begin(self.track, "comm")
+        if tr is not None:
+            tr.end(self.track)

@@ -73,9 +73,18 @@ class PamiContext:
         #: Hardware-completion continuations (e.g. "this Rget finished"):
         #: appended with no software cost and drained by advance().
         self.completions: list = []
+        # Native statistics (always maintained; the Converse runtime
+        # snapshots them into the tracer's pami.* counters at the end
+        # of a traced run).
         self.messages_sent = 0
         self.messages_received = 0
         self.advances = 0
+        self.bytes_sent = 0
+        self.packets_drained = 0
+        self.work_posted = 0
+        self.completions_posted = 0
+        self.rgets = 0
+        self.rputs = 0
 
     # -- identity ------------------------------------------------------------
     @property
@@ -142,6 +151,7 @@ class PamiContext:
         )
         self.ififo.post(desc)
         self.messages_sent += 1
+        self.bytes_sent += nbytes
         return desc
 
     def rget(self, thread: HWThread, src_node: int, nbytes: int):
@@ -151,6 +161,7 @@ class PamiContext:
         has arrived locally.
         """
         yield from thread.compute(self.params.pami_send_imm_instr)
+        self.rgets += 1
         desc = self.node.mu.post_rget(self.ififo, dst=src_node, nbytes=nbytes)
         return desc
 
@@ -164,6 +175,7 @@ class PamiContext:
         from ..bgq.network import RDMA_DATA
 
         yield from thread.compute(self.params.pami_send_imm_instr)
+        self.rputs += 1
         desc = self.node.mu.make_descriptor(
             dst=dst_node, nbytes=nbytes, kind=RDMA_DATA, message=("rput", data)
         )
@@ -178,6 +190,7 @@ class PamiContext:
         Generator-style call.
         """
         yield from thread.compute(self.params.commthread_post_instr)
+        self.work_posted += 1
         yield from self.work.enqueue(thread, work)
 
     def post_completion(self, fn: Callable) -> None:
@@ -188,6 +201,7 @@ class PamiContext:
         — on whichever thread advances this context next.
         """
         self.completions.append(fn)
+        self.completions_posted += 1
         # Wake any thread sleeping on this context.
         self.rfifo.wakeup.signal()
 
@@ -212,6 +226,7 @@ class PamiContext:
                 break
             yield from thread.compute(_PER_PACKET_INSTR)
             processed += 1
+            self.packets_drained += 1
             if pkt.is_last:
                 desc: Descriptor = pkt.message
                 payload: AMPayload = desc.message

@@ -27,6 +27,14 @@ All operations are generator-style and charge both the L2 atomic
 latencies (via the :class:`~repro.bgq.l2.L2AtomicUnit`) and the software
 instruction counts (via the calling :class:`~repro.bgq.node.HWThread`),
 so contention *emerges* in the simulation rather than being assumed.
+
+Provenance: §III-A and Fig. 2 of the paper (the L2 queue design and the
+Charm++-vs-MPI ordering contrast); the Fig. 8 ablation flips these
+queues off.  Every queue keeps native ``enqueues``/``dequeues``
+statistics (and the per-node L2 unit counts its atomic ops); when
+tracing is enabled the Converse runtime snapshots them into the
+``queue.*`` / ``l2.atomic_ops`` counters of the global
+:class:`repro.trace.Tracer` at the end of the run (docs/TRACING.md).
 """
 
 from __future__ import annotations

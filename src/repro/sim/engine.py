@@ -315,6 +315,14 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Events processed so far.  Maintained unconditionally (an int
+        #: add is far cheaper than a tracer call on the hottest loop in
+        #: the simulator); Tracer.finish() harvests it as the
+        #: ``engine.events`` counter.
+        self.events_executed = 0
+        #: Optional repro.trace.Tracer; None when tracing is off (the
+        #: runtime wires it, see ConverseRuntime).
+        self.tracer = None
 
     # -- clock ---------------------------------------------------------
     @property
@@ -356,6 +364,7 @@ class Environment:
             raise SimulationError("step() on empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_executed += 1
         event._process_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:

@@ -1,11 +1,14 @@
-"""Timeline recording and utilization profiles.
+"""Timeline recording and utilization profiles (rebased on ``repro.trace``).
 
 The paper presents three trace-based figures: Fig. 3 (per-thread
 timelines of a PME step), Fig. 9 (time-profile of CPU utilization with
 and without communication threads) and Fig. 10 (timestep density in a
-fixed window with regular vs. many-to-many PME).  This module records
-per-thread activity segments during a simulation and renders both
-ASCII timelines and binned utilization profiles from them.
+fixed window with regular vs. many-to-many PME).  Historically this
+module owned the ad-hoc ``TimelineRecorder``; span collection now lives
+in the unified :class:`repro.trace.Tracer` (which adds named counters,
+nested spans and Chrome/Perfetto + manifest exporters), and this module
+keeps the backwards-compatible recorder alias plus the ASCII renderers
+used by the miniature figure reproductions.
 
 Activity categories follow the paper's colour legend:
 
@@ -18,137 +21,74 @@ Activity categories follow the paper's colour legend:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..trace.core import Span, Tracer
 from .engine import Environment
 
 __all__ = ["Segment", "TimelineRecorder", "utilization_profile", "render_ascii_timeline"]
 
-#: Categories counted as "useful work" when computing utilization, as in
-#: the paper's "(total CPU utilization, useful work utilization)" labels.
-USEFUL = frozenset({"integrate", "nonbonded", "pme", "bonded", "compute", "fft"})
-#: Categories counted as busy (useful + overhead) but not idle.
-BUSY_OVERHEAD = frozenset({"comm", "sched", "alloc", "pack", "unpack"})
+#: Legacy name: one contiguous activity interval on one simulated thread.
+Segment = Span
 
 
-@dataclass(frozen=True)
-class Segment:
-    """One contiguous activity interval on one simulated thread."""
+class TimelineRecorder(Tracer):
+    """Backwards-compatible face of the unified tracer.
 
-    thread: int
-    category: str
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-class TimelineRecorder:
-    """Collects activity segments from simulated threads.
-
-    Threads bracket activities with :meth:`begin`/:meth:`end`, or use the
-    :meth:`record` shortcut when start/end are both known.  Unclosed
-    segments are closed at the current simulation time by :meth:`finish`.
+    Threads bracket activities with :meth:`begin`/:meth:`end` (or the
+    inherited :meth:`~repro.trace.Tracer.span` context manager for
+    nesting), and unclosed segments are closed at the current simulation
+    time by :meth:`finish` — exactly the old recorder contract, now with
+    the counter and exporter machinery of :class:`repro.trace.Tracer`
+    underneath.
     """
 
-    def __init__(self, env: Environment) -> None:
-        self.env = env
-        self.segments: List[Segment] = []
-        self._open: Dict[int, Tuple[str, float]] = {}
+    def __init__(self, env: Environment, enabled: bool = True) -> None:
+        super().__init__(env, enabled=enabled)
 
-    def begin(self, thread: int, category: str) -> None:
-        """Start a new activity on ``thread``, closing any open one."""
-        now = self.env.now
-        prev = self._open.get(thread)
-        if prev is not None:
-            cat, t0 = prev
-            if now > t0:
-                self.segments.append(Segment(thread, cat, t0, now))
-        self._open[thread] = (category, now)
+    @property
+    def segments(self) -> list:
+        """Legacy alias for :attr:`~repro.trace.Tracer.spans`."""
+        return self.spans
 
-    def end(self, thread: int) -> None:
-        """Close the open activity on ``thread`` (no-op if none)."""
-        prev = self._open.pop(thread, None)
-        if prev is not None:
-            cat, t0 = prev
-            now = self.env.now
-            if now > t0:
-                self.segments.append(Segment(thread, cat, t0, now))
+    def threads(self) -> list:
+        """Legacy alias for :meth:`~repro.trace.Tracer.tracks`."""
+        return self.tracks()
 
-    def record(self, thread: int, category: str, start: float, end: float) -> None:
-        if end < start:
-            raise ValueError("segment end precedes start")
-        if end > start:
-            self.segments.append(Segment(thread, category, start, end))
+    def utilization(
+        self, thread: Optional[int] = None, track: Optional[int] = None
+    ) -> Tuple[float, float]:
+        return super().utilization(track=track if track is not None else thread)
 
-    def finish(self) -> None:
-        """Close all open segments at the current time."""
-        for thread in list(self._open):
-            self.end(thread)
-
-    # -- queries ---------------------------------------------------------
-    def threads(self) -> List[int]:
-        return sorted({s.thread for s in self.segments})
-
-    def span(self) -> Tuple[float, float]:
-        if not self.segments:
-            return (0.0, 0.0)
-        return (
-            min(s.start for s in self.segments),
-            max(s.end for s in self.segments),
-        )
-
-    def time_in(self, category: str, thread: Optional[int] = None) -> float:
-        return sum(
-            s.duration
-            for s in self.segments
-            if s.category == category and (thread is None or s.thread == thread)
-        )
-
-    def utilization(self, thread: Optional[int] = None) -> Tuple[float, float]:
-        """Return (total busy fraction, useful-work fraction).
-
-        Mirrors the "(total CPU utilization, useful work utilization)"
-        pair printed on the paper's timeline figures.
-        """
-        t0, t1 = self.span()
-        horizon = t1 - t0
-        if horizon <= 0:
-            return (0.0, 0.0)
-        segs = [s for s in self.segments if thread is None or s.thread == thread]
-        nthreads = len({s.thread for s in segs}) or 1
-        busy = sum(s.duration for s in segs if s.category != "idle")
-        useful = sum(s.duration for s in segs if s.category in USEFUL)
-        denom = horizon * nthreads
-        return (busy / denom, useful / denom)
+    def time_in(
+        self, category: str, thread: Optional[int] = None, track: Optional[int] = None
+    ) -> float:
+        return super().time_in(category, track=track if track is not None else thread)
 
 
 def utilization_profile(
-    recorder: TimelineRecorder,
+    recorder: Tracer,
     bins: int = 100,
     categories: Optional[Sequence[str]] = None,
 ) -> Dict[str, np.ndarray]:
     """Bin per-category busy time into a time profile (Fig. 9 shape).
 
-    Returns a mapping ``category -> array(bins)`` of the fraction of
-    thread-time spent in that category in each bin, plus ``"_edges"``
-    with the bin edges.
+    Accepts any :class:`repro.trace.Tracer`.  Returns a mapping
+    ``category -> array(bins)`` of the fraction of thread-time spent in
+    that category in each bin, plus ``"_edges"`` with the bin edges.
     """
-    t0, t1 = recorder.span()
+    t0, t1 = recorder.time_span()
     if t1 <= t0:
         raise ValueError("empty timeline")
     edges = np.linspace(t0, t1, bins + 1)
-    nthreads = len(recorder.threads()) or 1
+    ntracks = len(recorder.tracks()) or 1
     width = (t1 - t0) / bins
     if categories is None:
-        categories = sorted({s.category for s in recorder.segments})
+        categories = recorder.categories()
     out: Dict[str, np.ndarray] = {c: np.zeros(bins) for c in categories}
-    for seg in recorder.segments:
+    for seg in recorder.spans:
         if seg.category not in out:
             continue
         lo = int(np.searchsorted(edges, seg.start, side="right")) - 1
@@ -160,7 +100,7 @@ def utilization_profile(
             if overlap > 0:
                 out[seg.category][b] += overlap
     for c in categories:
-        out[c] /= width * nthreads
+        out[c] /= width * ntracks
     out["_edges"] = edges
     return out
 
@@ -179,32 +119,33 @@ _GLYPHS = {
 
 
 def render_ascii_timeline(
-    recorder: TimelineRecorder,
+    recorder: Tracer,
     width: int = 80,
     threads: Optional[Iterable[int]] = None,
 ) -> str:
-    """Render per-thread timelines as ASCII art (one row per thread).
+    """Render per-track timelines as ASCII art (one row per track).
 
     This is the textual stand-in for the paper's Projections timeline
-    screenshots (Figs. 3 and 10).
+    screenshots (Figs. 3 and 10); the interactive equivalent is
+    :func:`repro.trace.write_chrome_trace` + Perfetto.
     """
-    t0, t1 = recorder.span()
+    t0, t1 = recorder.time_span()
     if t1 <= t0:
         return "(empty timeline)"
-    sel = sorted(threads) if threads is not None else recorder.threads()
+    sel = sorted(threads) if threads is not None else recorder.tracks()
     scale = width / (t1 - t0)
     rows = []
     for th in sel:
         row = ["."] * width
-        for seg in recorder.segments:
-            if seg.thread != th:
+        for seg in recorder.spans:
+            if seg.track != th:
                 continue
             a = int((seg.start - t0) * scale)
             b = max(a + 1, int(round((seg.end - t0) * scale)))
             g = _GLYPHS.get(seg.category, "?")
             for i in range(a, min(b, width)):
                 row[i] = g
-        busy, useful = recorder.utilization(thread=th)
+        busy, useful = recorder.utilization(track=th)
         rows.append(f"T{th:3d} |{''.join(row)}| ({busy * 100:.0f}%,{useful * 100:.0f}%)")
     legend = "legend: R=integrate P=nonbonded G=pme/fft c=comm s=sched .=idle"
     return "\n".join(rows + [legend])

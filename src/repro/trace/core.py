@@ -1,0 +1,262 @@
+"""The unified tracer: named counters + span-based activity recording.
+
+This is the reproduction's analogue of Charm++ **Projections** tracing
+(the tool behind the paper's Figs. 3, 9 and 10): a single per-run
+:class:`Tracer` that every layer of the stack — DES engine, Converse
+scheduler, PAMI contexts and communication threads, the BG/Q messaging
+unit, the Charm++ facade and the NAMD/FFT harnesses — reports into.
+
+Two kinds of data are collected:
+
+* **Counters** — monotonically accumulated named integers (messages
+  sent/received, bytes, scheduler polls, L2 atomic operations,
+  allocator pool hits...).  ``count(name)`` is a dict add; optional
+  per-track breakdowns use ``count(name, track=rank)``.  The full
+  catalogue lives in ``docs/TRACING.md``.
+
+* **Spans** — contiguous activity intervals on a *track* (a PE rank or
+  a communication thread).  The flat :meth:`begin`/:meth:`end` API
+  matches Projections' one-activity-per-PE-at-a-time model and is what
+  the scheduler's hot path uses; the :meth:`span` context manager adds
+  proper nesting (an inner span suspends the outer category and
+  resumes it on exit), which is what instrumented application code
+  wants.
+
+Zero-cost-when-disabled contract: components hold ``tracer`` attributes
+that are ``None`` when tracing is off, and every instrumentation site
+is guarded by ``if tracer is not None``.  A constructed Tracer can also
+be soft-disabled (``enabled=False``) which turns every recording call
+into an early-out — used by the overhead benchmark to separate guard
+cost from recording cost.
+
+The tracer is deliberately free of simulation imports: it only needs an
+object with a ``now`` attribute (duck-typed ``repro.sim.Environment``),
+so it can be reused by the analytic-model harnesses as well.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "USEFUL_CATEGORIES",
+    "OVERHEAD_CATEGORIES",
+]
+
+#: Categories counted as "useful work" when computing utilization, as in
+#: the paper's "(total CPU utilization, useful work utilization)" labels.
+USEFUL_CATEGORIES = frozenset(
+    {"integrate", "nonbonded", "pme", "bonded", "compute", "fft"}
+)
+#: Categories counted as busy (useful + overhead) but not idle.
+OVERHEAD_CATEGORIES = frozenset({"comm", "sched", "alloc", "pack", "unpack"})
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity interval on one track.
+
+    ``track`` is an integer: PE rank for worker threads, or an offset id
+    for communication threads (see :meth:`Tracer.register_track`).
+    """
+
+    track: int
+    category: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def thread(self) -> int:
+        """Legacy alias for :attr:`track` (the timeline recorder's name)."""
+        return self.track
+
+
+class Tracer:
+    """Per-run tracing and metrics hub (Projections analogue).
+
+    Parameters
+    ----------
+    env:
+        Clock source; anything with a ``now`` attribute.
+    enabled:
+        Soft switch.  When False every recording method early-outs; the
+        hard zero-cost switch is holding ``None`` instead of a Tracer.
+    """
+
+    def __init__(self, env: Any, enabled: bool = True) -> None:
+        self.env = env
+        self.enabled = enabled
+        #: Global named counters (see docs/TRACING.md for the catalogue).
+        self.counters: Dict[str, float] = {}
+        #: Optional per-track breakdown: name -> {track: value}.
+        self.track_counters: Dict[str, Dict[int, float]] = {}
+        #: Closed activity spans, in close order.
+        self.spans: List[Span] = []
+        #: Human-readable labels for non-PE tracks (comm threads...).
+        self.track_labels: Dict[int, str] = {}
+        self._open: Dict[int, Tuple[str, float]] = {}
+        self._nest: Dict[int, List[str]] = {}
+        self._finalizers: List[Any] = []
+
+    # -- counters ---------------------------------------------------------
+    def count(self, name: str, n: float = 1, track: Optional[int] = None) -> None:
+        """Accumulate ``n`` into counter ``name`` (and a track bucket)."""
+        if not self.enabled:
+            return
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+        if track is not None:
+            per = self.track_counters.setdefault(name, {})
+            per[track] = per.get(track, 0) + n
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Read a counter (0 if never incremented)."""
+        return self.counters.get(name, default)
+
+    # -- track identity ----------------------------------------------------
+    def register_track(self, track: int, label: str) -> None:
+        """Name a track (e.g. ``register_track(10000, "commthread-0")``)."""
+        self.track_labels[track] = label
+
+    def label_of(self, track: int) -> str:
+        return self.track_labels.get(track, f"pe{track}")
+
+    # -- spans: flat begin/end (scheduler hot path) ------------------------
+    def begin(self, track: int, category: str) -> None:
+        """Start activity ``category`` on ``track``, closing any open one."""
+        if not self.enabled:
+            return
+        now = self.env.now
+        prev = self._open.get(track)
+        if prev is not None:
+            cat, t0 = prev
+            if now > t0:
+                self.spans.append(Span(track, cat, t0, now))
+        self._open[track] = (category, now)
+
+    def end(self, track: int) -> None:
+        """Close the open activity on ``track`` (no-op if none)."""
+        if not self.enabled:
+            return
+        prev = self._open.pop(track, None)
+        if prev is not None:
+            cat, t0 = prev
+            now = self.env.now
+            if now > t0:
+                self.spans.append(Span(track, cat, t0, now))
+
+    def record(self, track: int, category: str, start: float, end: float) -> None:
+        """Record a fully-known span directly."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError("span end precedes start")
+        if end > start:
+            self.spans.append(Span(track, category, start, end))
+
+    @contextmanager
+    def span(self, track: int, category: str) -> Iterator[None]:
+        """Nested activity recording.
+
+        Entering starts ``category`` on ``track``; exiting resumes
+        whatever category was active before (or closes the track).  The
+        resulting spans stay flat and non-overlapping — an inner span
+        splits its parent into before/after segments, which is what the
+        timeline renderers and the Chrome exporter expect.
+        """
+        if not self.enabled:
+            yield
+            return
+        prev = self._open.get(track)
+        stack = self._nest.setdefault(track, [])
+        if prev is not None:
+            stack.append(prev[0])
+        self.begin(track, category)
+        try:
+            yield
+        finally:
+            if stack:
+                self.begin(track, stack.pop())
+            else:
+                self.end(track)
+
+    def add_finalizer(self, fn: Any) -> None:
+        """Register a zero-arg callable run by :meth:`finish`.
+
+        Hot components don't call :meth:`count` per event — they keep
+        plain integer statistics (hardware-perf-counter style, always
+        on, an int add each) and a finalizer snapshots them into
+        :attr:`counters` when the run ends.  Snapshots must *assign*
+        (not add) so finish() stays idempotent.
+        """
+        self._finalizers.append(fn)
+
+    def finish(self) -> None:
+        """Close all open spans and harvest component-maintained counters."""
+        for track in list(self._open):
+            self.end(track)
+        self._nest.clear()
+        if not self.enabled:
+            return
+        # The DES engine counts processed events with a bare int (its
+        # hottest loop; a tracer call there costs ~10% wall time).
+        n = getattr(self.env, "events_executed", 0)
+        if n:
+            self.counters["engine.events"] = n
+        for fn in self._finalizers:
+            fn()
+
+    # -- queries -----------------------------------------------------------
+    def tracks(self) -> List[int]:
+        return sorted({s.track for s in self.spans})
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for s in self.spans})
+
+    def time_span(self) -> Tuple[float, float]:
+        if not self.spans:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self.spans),
+            max(s.end for s in self.spans),
+        )
+
+    def time_in(self, category: str, track: Optional[int] = None) -> float:
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.category == category and (track is None or s.track == track)
+        )
+
+    def utilization(self, track: Optional[int] = None) -> Tuple[float, float]:
+        """Return (total busy fraction, useful-work fraction).
+
+        Mirrors the "(total CPU utilization, useful work utilization)"
+        pair printed on the paper's Projections timeline figures.
+        """
+        t0, t1 = self.time_span()
+        horizon = t1 - t0
+        if horizon <= 0:
+            return (0.0, 0.0)
+        spans = [s for s in self.spans if track is None or s.track == track]
+        ntracks = len({s.track for s in spans}) or 1
+        busy = sum(s.duration for s in spans if s.category != "idle")
+        useful = sum(s.duration for s in spans if s.category in USEFUL_CATEGORIES)
+        denom = horizon * ntracks
+        return (busy / denom, useful / denom)
+
+    def category_times(self, track: int) -> Dict[str, float]:
+        """Total time per category on one track."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            if s.track == track:
+                out[s.category] = out.get(s.category, 0.0) + s.duration
+        return out

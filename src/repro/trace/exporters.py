@@ -1,0 +1,243 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, utilization tables, manifests.
+
+Three consumers, mirroring how Projections output is used around the
+paper's figures:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the
+  interactive view.  The JSON loads directly in ``chrome://tracing`` or
+  https://ui.perfetto.dev and shows the same per-thread timelines as
+  the paper's Fig. 3/10 screenshots (one Perfetto track per PE / comm
+  thread, colored by activity category).
+
+* :func:`utilization_summary` / :func:`format_utilization_table` — the
+  per-PE "(total CPU utilization, useful work utilization)" summary
+  printed on the paper's timelines and aggregated in Fig. 9.
+
+* :func:`run_manifest` / :func:`write_run_manifest` — a machine-readable
+  record of one traced run (counters, per-track utilization, category
+  times) consumed by :mod:`repro.harness.report` and archived next to
+  the benchmark outputs so each figure can cite its trace artifact.
+
+Simulated time is in machine cycles; exporters take a ``scale`` factor
+(e.g. ``1 / CYCLES_PER_US``) so exported timestamps are microseconds,
+which is what the Chrome trace viewer expects of its ``ts``/``dur``
+fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .core import Tracer, USEFUL_CATEGORIES
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "utilization_summary",
+    "format_utilization_table",
+    "run_manifest",
+    "write_run_manifest",
+]
+
+#: Stable color names from the Chrome tracing palette, mapped so the
+#: exported timeline echoes the paper's legend (integrate=red,
+#: nonbonded=purple, pme/fft=green, comm/sched=grey tones, idle=white).
+_CHROME_COLORS = {
+    "integrate": "terrible",         # red
+    "nonbonded": "vsync_highlight_color",  # purple-ish
+    "bonded": "bad",
+    "pme": "good",                   # green
+    "fft": "good",
+    "compute": "good",
+    "comm": "grey",
+    "sched": "generic_work",
+    "alloc": "cq_build_attempt_failed",
+    "idle": "white",
+}
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    scale: float = 1.0,
+    process_name: str = "repro",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Convert a tracer to the Chrome ``trace_event`` JSON object format.
+
+    Spans become complete ("ph": "X") events on one ``tid`` per track;
+    counters become a single cumulative counter ("ph": "C") sample at
+    the end of the trace; track labels become thread-name metadata
+    ("ph": "M") so Perfetto shows "pe0", "commthread-..." row names.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracer.tracks():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": track,
+                "args": {"name": tracer.label_of(track)},
+            }
+        )
+    for s in tracer.spans:
+        ev: Dict[str, Any] = {
+            "name": s.category,
+            "cat": s.category,
+            "ph": "X",
+            "ts": s.start * scale,
+            "dur": s.duration * scale,
+            "pid": 0,
+            "tid": s.track,
+        }
+        color = _CHROME_COLORS.get(s.category)
+        if color is not None:
+            ev["cname"] = color
+        events.append(ev)
+    _, t1 = tracer.time_span()
+    for name in sorted(tracer.counters):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": t1 * scale,
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": tracer.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    scale: float = 1.0,
+    process_name: str = "repro",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write :func:`to_chrome_trace` output as JSON; returns ``path``."""
+    doc = to_chrome_trace(tracer, scale=scale, process_name=process_name,
+                          metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def utilization_summary(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Per-track utilization rows (plus an ``all`` aggregate row).
+
+    Each row: track id, label, busy fraction, useful fraction, and time
+    per category — the numbers behind the paper's per-thread
+    "(total, useful)" annotations and the Fig. 9 profile summary.
+    """
+    rows: List[Dict[str, Any]] = []
+    for track in tracer.tracks():
+        busy, useful = tracer.utilization(track=track)
+        rows.append(
+            {
+                "track": track,
+                "label": tracer.label_of(track),
+                "busy": busy,
+                "useful": useful,
+                "categories": tracer.category_times(track),
+            }
+        )
+    busy, useful = tracer.utilization()
+    rows.append(
+        {
+            "track": -1,
+            "label": "all",
+            "busy": busy,
+            "useful": useful,
+            "categories": {},
+        }
+    )
+    return rows
+
+
+def format_utilization_table(tracer: Tracer, scale: float = 1.0, unit: str = "cyc") -> str:
+    """Render :func:`utilization_summary` as an aligned text table."""
+    cats = tracer.categories()
+    headers = ["track", "busy%", "useful%"] + [f"{c} ({unit})" for c in cats]
+    lines = ["  ".join(headers)]
+    for row in utilization_summary(tracer):
+        if row["label"] == "all":
+            cells = [row["label"], f"{row['busy'] * 100:.1f}", f"{row['useful'] * 100:.1f}"]
+            cells += ["-" for _ in cats]
+        else:
+            times = row["categories"]
+            cells = [row["label"], f"{row['busy'] * 100:.1f}", f"{row['useful'] * 100:.1f}"]
+            cells += [f"{times.get(c, 0.0) * scale:.1f}" for c in cats]
+        lines.append("  ".join(cells))
+    widths = [max(len(line.split("  ")[i]) for line in lines)
+              for i in range(len(headers))]
+    out = []
+    for line in lines:
+        cells = line.split("  ")
+        out.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    out.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def run_manifest(
+    tracer: Tracer,
+    label: str = "run",
+    scale: float = 1.0,
+    time_unit: str = "cycles",
+    **meta: Any,
+) -> Dict[str, Any]:
+    """Machine-readable record of one traced run.
+
+    Consumed by :func:`repro.harness.report.format_manifest` and by the
+    benchmark suite; schema (all times multiplied by ``scale``):
+
+    ``{"label", "time_unit", "span": [t0, t1], "counters": {...},
+    "utilization": [row...], "useful_categories": [...], "meta": {...}}``
+    """
+    t0, t1 = tracer.time_span()
+    rows = utilization_summary(tracer)
+    for row in rows:
+        row["categories"] = {
+            c: t * scale for c, t in row["categories"].items()
+        }
+    return {
+        "label": label,
+        "time_unit": time_unit,
+        "span": [t0 * scale, t1 * scale],
+        "counters": {k: tracer.counters[k] for k in sorted(tracer.counters)},
+        "utilization": rows,
+        "useful_categories": sorted(USEFUL_CATEGORIES),
+        "meta": dict(meta),
+    }
+
+
+def write_run_manifest(
+    tracer: Tracer,
+    path: str,
+    label: str = "run",
+    scale: float = 1.0,
+    time_unit: str = "cycles",
+    **meta: Any,
+) -> str:
+    """Write :func:`run_manifest` as JSON; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(
+            run_manifest(tracer, label=label, scale=scale, time_unit=time_unit, **meta),
+            fh,
+            indent=1,
+        )
+    return path
