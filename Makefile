@@ -2,10 +2,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-test trace-demo bench
+.PHONY: tier1 test trace-test trace-demo bench bench-gate
+
+tier1: test bench-gate  ## full tier-1 flow: test suite + benchmark gate
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
+
+bench-gate:      ## hot-path benchmark gate: writes the next BENCH_NNNN.json at the
+                 ## repo root and exits nonzero on >10% events/sec regression or any
+                 ## simulated-time checksum drift vs the prior record (EXPERIMENTS.md)
+	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main())"
 
 trace-test:      ## just the tracing-subsystem tests (pytest -m trace)
 	$(PYTHON) -m pytest -q -m trace tests/trace

@@ -29,12 +29,37 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional
 
-from ..sim import Environment, Event
+from ..sim import Environment, Event, Timeout
+from ..sim.engine import _PENDING
 from .params import BGQParams, DEFAULT_PARAMS
 
 __all__ = ["Core", "CoreMember"]
 
 _EPS = 1e-9
+
+
+class _FirstWake:
+    """Succeed ``wait`` when the first of the watched events fires.
+
+    One instance is attached to both the chunk timeout and the core's
+    membership-change event in :meth:`Core.compute`; whichever pops
+    first succeeds the waiter, the loser finds it already triggered and
+    does nothing.  This is an allocation-light replacement for
+    ``env.any_of([timeout, change])`` with an *identical* event
+    schedule: the timeout is created at the same point (same sequence
+    number) and ``wait`` is succeeded exactly where the AnyOf condition
+    would have been.
+    """
+
+    __slots__ = ("wait",)
+
+    def __init__(self, wait: Event) -> None:
+        self.wait = wait
+
+    def __call__(self, _event: Event) -> None:
+        w = self.wait
+        if w._state == _PENDING:
+            w.succeed()
 
 
 class CoreMember:
@@ -103,20 +128,23 @@ class Core:
     # -- rate model -------------------------------------------------------
     def rate_of(self, member: CoreMember) -> float:
         """Instructions/cycle this member currently receives."""
-        p = self.params
-        n_eff = self.occupancy
-        if member.weight <= 0:
+        w = member.weight
+        if w <= 0:
             return 0.0
+        p = self.params
+        members = self._members.values()
+        n_eff = sum(m.weight for m in members)
+        cap = p.thread_issue_cap
         per_unit = p.base_ipc / (1.0 + max(0.0, n_eff - 1.0) * p.smt_interference)
-        rate = member.weight * per_unit
-        rate = min(rate, p.thread_issue_cap * min(1.0, member.weight))
+        rate = min(w * per_unit, cap * min(1.0, w))
         # Aggregate issue-width cap, shared proportionally to weight.
-        total = sum(
-            min(m.weight * per_unit, p.thread_issue_cap * min(1.0, m.weight))
-            for m in self._members.values()
-        )
-        if total > p.core_issue_width:
-            rate *= p.core_issue_width / total
+        total = 0.0
+        for m in members:
+            mw = m.weight
+            total += min(mw * per_unit, cap * min(1.0, mw))
+        width = p.core_issue_width
+        if total > width:
+            rate *= width / total
         return rate
 
     # -- work execution --------------------------------------------------
@@ -134,22 +162,29 @@ class Core:
         member = self.register(weight)
         started = env.now
         remaining = float(instructions)
+        rate_of = self.rate_of
         try:
             while remaining > _EPS:
-                rate = self.rate_of(member)
+                rate = rate_of(member)
                 if rate <= 0:
                     # Weight zero: just wait for a membership change.
                     yield self._change
                     continue
                 t_done = remaining / rate
-                if env.now + t_done == env.now:
+                t0 = env.now
+                if t0 + t_done == t0:
                     # Residual work below the clock's float resolution:
                     # it cannot advance simulated time — call it done
                     # (guards against a zero-advance spin).
                     break
-                change = self._change
-                t0 = env.now
-                yield env.any_of([env.timeout(t_done), change])
+                # Manual two-way wait (see _FirstWake): cycle-identical
+                # to `yield env.any_of([env.timeout(t_done), change])`.
+                to = Timeout(env, t_done)
+                wait = Event(env)
+                wake = _FirstWake(wait)
+                to.callbacks = [wake]
+                self._change._add_callback(wake)
+                yield wait
                 remaining -= (env.now - t0) * rate
         finally:
             self.unregister(member)

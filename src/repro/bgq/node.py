@@ -33,10 +33,18 @@ class HWThread:
         self.instructions = 0.0
 
     def compute(self, instructions: float, weight: float = 1.0):
-        """Execute ``instructions`` on this thread's core (generator)."""
+        """Execute ``instructions`` on this thread's core.
+
+        Returns the core's compute generator directly — call sites drive
+        it with ``yield from`` exactly as before, but each charge no
+        longer pays a delegating wrapper frame.  This is the hottest
+        call in the simulator: every queue operation, handler dispatch
+        and memcpy in ``queues.py``/``converse/`` is charged through it,
+        so batching the accounting here (one attribute add, then the
+        core generator) measurably shortens the DES hot loop.
+        """
         self.instructions += instructions
-        result = yield from self.core.compute(instructions, weight=weight)
-        return result
+        return self.core.compute(instructions, weight=weight)
 
     def wait_on(self, source: WakeupSource):
         """Enter the ``wait`` state until the wakeup source fires.

@@ -93,9 +93,25 @@ class WakeupSource:
     def _fire(self, ev: Event, latency: Optional[float]) -> None:
         self.wakeups += 1
         delay = self.params.wakeup_latency if latency is None else latency
+        env = self.env
 
-        def deliver():
-            yield self.env.timeout(delay)
+        # Delivery is a plain event/timeout chain rather than a spawned
+        # Process: a zero-delay trampoline event stands in for the old
+        # delivery process's init event, and its pop creates the delay
+        # timeout — so the timeout's schedule position (and with it the
+        # whole event order) is identical to the Process version, minus
+        # the Process/generator machinery.
+        def start(_trampoline: Event) -> None:
+            to = env.timeout(delay)
+            to.callbacks = [deliver]
+
+        def deliver(_timeout: Event) -> None:
             ev.succeed()
+            # Stand-in for the delivery process's own completion event:
+            # keeps event counts and sequence numbering exactly equal to
+            # the Process-based implementation (cycle-for-cycle parity).
+            Event(env).succeed()
 
-        self.env.process(deliver(), name=f"{self.name}-interrupt")
+        tramp = Event(env)
+        tramp.callbacks = [start]
+        tramp.succeed()

@@ -106,16 +106,24 @@ class PE:
         prioritized scheduler queue; the best message runs next.
         """
         self.polls += 1
-        while self.local_q:
-            msg = self.local_q.popleft()
-            heapq.heappush(self._heap, (msg.priority, next(self._seq), msg))
-        while True:
-            msg = yield from self.queue.dequeue(self.thread)
+        heap = self._heap
+        local_q = self.local_q
+        while local_q:
+            msg = local_q.popleft()
+            heapq.heappush(heap, (msg.priority, next(self._seq), msg))
+        # has_ready() keeps the dequeue generator off the poll hot path
+        # when the lockless queue provably has nothing: an empty L2
+        # dequeue simulates zero events, so skipping it is trajectory
+        # neutral (a MutexQueue always reports ready — it pays the mutex
+        # even when empty).
+        queue = self.queue
+        while queue.has_ready():
+            msg = yield from queue.dequeue(self.thread)
             if msg is None:
                 break
-            heapq.heappush(self._heap, (msg.priority, next(self._seq), msg))
-        if self._heap:
-            return heapq.heappop(self._heap)[2]
+            heapq.heappush(heap, (msg.priority, next(self._seq), msg))
+        if heap:
+            return heapq.heappop(heap)[2]
         return None
 
     def _execute(self, msg: ConverseMessage):

@@ -1,6 +1,14 @@
 """Benchmark harness: one driver per table/figure of the paper."""
 
 from .allocbench import AllocBenchResult, fig6_allocator, run_alloc_bench
+from .benchgate import (
+    GATE_BENCHMARKS,
+    bench_fig3_m2m,
+    bench_fig10_window,
+    bench_pingpong,
+    compare_records,
+    run_gate,
+)
 from .fftbench import des_fft_step_us, des_vs_model, table1_model, table1_report
 from .namdbench import (
     PAPER_TABLE2,
@@ -13,7 +21,14 @@ from .namdbench import (
     smt_thread_speedup_des,
     table2_stmv100m,
 )
-from .pingpong import FIG4_MODES, FIG4_SIZES, fig4_internode, fig5_intranode, pingpong_oneway_us
+from .pingpong import (
+    FIG4_MODES,
+    FIG4_SIZES,
+    fig4_internode,
+    fig5_intranode,
+    pingpong_oneway_us,
+    pingpong_run,
+)
 from .report import banner, format_comparison, format_manifest, format_table
 from .timelines import (
     TraceResult,
@@ -28,8 +43,14 @@ __all__ = [
     "AllocBenchResult",
     "FIG4_MODES",
     "FIG4_SIZES",
+    "GATE_BENCHMARKS",
     "PAPER_TABLE2",
     "TraceResult",
+    "bench_fig3_m2m",
+    "bench_fig10_window",
+    "bench_pingpong",
+    "compare_records",
+    "run_gate",
     "apoa1_pme_every_step",
     "banner",
     "des_fft_step_us",
@@ -49,6 +70,7 @@ __all__ = [
     "format_manifest",
     "format_table",
     "pingpong_oneway_us",
+    "pingpong_run",
     "qpx_serial_speedup",
     "run_alloc_bench",
     "run_traced_namd",

@@ -14,6 +14,7 @@ contexts, MU packets and torus links.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +25,7 @@ from ..converse.messages import ConverseMessage
 from ..sim import Environment
 
 __all__ = [
+    "pingpong_run",
     "pingpong_oneway_us",
     "fig4_internode",
     "fig5_intranode",
@@ -43,15 +45,22 @@ FIG4_MODES: Dict[str, RunConfig] = {
 FIG4_SIZES: Tuple[int, ...] = (16, 32, 128, 512, 2048, 8192, 32768, 131072)
 
 
-def pingpong_oneway_us(
+def pingpong_run(
     config: RunConfig,
     nbytes: int,
     src_rank: int = 0,
     dst_rank: int | None = None,
     trips: int = 8,
     skip: int = 2,
-) -> float:
-    """Measure mean one-way latency (microseconds) via DES ping-pong."""
+) -> Dict[str, object]:
+    """Run one DES ping-pong and return raw run statistics.
+
+    Returns a dict with the mean one-way latency (``oneway_us``), the
+    raw round-trip samples in cycles (``rtts``), and engine statistics
+    the benchmark gate records: wall-clock seconds of the simulation
+    loop (``wall_s``), engine events processed (``events``), and the
+    final simulated time in cycles (``sim_time``).
+    """
     env = Environment()
     rt = ConverseRuntime(env, config)
     if dst_rank is None:
@@ -78,11 +87,34 @@ def pingpong_oneway_us(
     hid_pong = rt.register_handler(pong)
     hid_ping = rt.register_handler(ping)
     rt.pes[src_rank].local_q.append(ConverseMessage(hid_ping, 0, None, src_rank, src_rank))
+    t0 = time.perf_counter()
     rt.run_until(done)
+    wall_s = time.perf_counter() - t0
     usable = rtts[skip:]
     if not usable:
         raise RuntimeError("ping-pong completed no measurable trips")
-    return float(np.mean(usable)) / 2.0 / CYCLES_PER_US
+    return {
+        "oneway_us": float(np.mean(usable)) / 2.0 / CYCLES_PER_US,
+        "rtts": rtts,
+        "wall_s": wall_s,
+        "events": env.events_executed,
+        "sim_time": env.now,
+    }
+
+
+def pingpong_oneway_us(
+    config: RunConfig,
+    nbytes: int,
+    src_rank: int = 0,
+    dst_rank: int | None = None,
+    trips: int = 8,
+    skip: int = 2,
+) -> float:
+    """Measure mean one-way latency (microseconds) via DES ping-pong."""
+    result = pingpong_run(
+        config, nbytes, src_rank=src_rank, dst_rank=dst_rank, trips=trips, skip=skip
+    )
+    return result["oneway_us"]
 
 
 def fig4_internode(

@@ -241,8 +241,12 @@ class PamiContext:
                 result = fn(self, thread, payload)
                 if result is not None and hasattr(result, "__next__"):
                     yield from result
-        while True:
-            work = yield from self.work.dequeue(thread)
+        # has_ready() skips the dequeue generator when the lockless work
+        # queue provably has nothing (an empty L2 dequeue simulates zero
+        # events — trajectory neutral, see repro.queues).
+        work_q = self.work
+        while work_q.has_ready():
+            work = yield from work_q.dequeue(thread)
             if work is None:
                 break
             processed += 1

@@ -78,6 +78,19 @@ class _QueueBase:
     def empty(self) -> bool:
         return len(self) == 0
 
+    def has_ready(self) -> bool:
+        """Could :meth:`dequeue` deliver an item or charge work *now*?
+
+        Consumers (the Converse scheduler loop, ``PamiContext.advance``)
+        use this to skip spawning a dequeue generator when the call
+        would provably return ``None`` without simulating any events —
+        a pure host-side saving with zero effect on the simulated
+        trajectory.  The base implementation is conservatively ``True``:
+        a :class:`MutexQueue` dequeue pays the mutex acquire even when
+        empty, so it must always actually run.
+        """
+        return True
+
 
 class MutexQueue(_QueueBase):
     """Baseline: deque + pthread mutex (what the paper replaces)."""
@@ -170,29 +183,37 @@ class L2AtomicQueue(_QueueBase):
     def _l2_nonempty(self) -> bool:
         return self.l2.peek(self.counter) > self._consumed
 
+    def has_ready(self) -> bool:
+        """Mirror of :meth:`dequeue`'s progress test, without side effects."""
+        if self.l2.peek(self.counter) > self._consumed:
+            if self.slots[self._consumed % self.size] is not None:
+                return True
+            # Head slot in-flight: deliverable only via the overflow path.
+        return bool(self.overflow)
+
     def dequeue(self, thread: HWThread):
         """Non-blocking dequeue; returns an item or None.
 
         Charm++ semantics: the overflow queue is only examined when the
-        L2 atomic queue is empty (no ordering requirement), keeping the
-        mutex off the fast path.
+        L2 atomic queue cannot deliver (no ordering requirement),
+        keeping the mutex off the fast path.
         """
         p = self.params
         if self._l2_nonempty():
             slot = self._consumed % self.size
             item = self.slots[slot]
-            if item is None:
-                # Producer won the increment but has not written the
-                # pointer yet; the consumer treats the queue as empty
-                # this poll (it will spin again).
-                return None
-            self.slots[slot] = None
-            self._consumed += 1
-            yield from thread.compute(_SLOT_INSTR)
-            # Re-enable one producer slot: advance the bound.
-            yield from self.l2.store_add_bound(self.counter, 1)
-            self.dequeues += 1
-            return item
+            if item is not None:
+                self.slots[slot] = None
+                self._consumed += 1
+                yield from thread.compute(_SLOT_INSTR)
+                # Re-enable one producer slot: advance the bound.
+                yield from self.l2.store_add_bound(self.counter, 1)
+                self.dequeues += 1
+                return item
+            # Producer won the increment but has not written the pointer
+            # yet.  Fall through to the overflow queue: Charm++ has no
+            # ordering requirement, so messages parked there are still
+            # deliverable — one stalled producer must not starve them.
         if self.overflow:
             yield from thread.compute(p.mutex_acquire_instr)
             yield from self.overflow_lock.acquire()
@@ -213,6 +234,13 @@ class MPIOrderedQueue(L2AtomicQueue):
     and checks the overflow queue before advancing the bound — paying
     the mutex on the fast path the Charm++ queue avoids (§III-A).
     """
+
+    def has_ready(self) -> bool:
+        # Ordered semantics: an in-flight head slot blocks delivery (no
+        # overtaking), so a dequeue then returns None with zero events.
+        if self.l2.peek(self.counter) > self._consumed:
+            return self.slots[self._consumed % self.size] is not None
+        return bool(self.overflow)
 
     def dequeue(self, thread: HWThread):
         p = self.params

@@ -11,11 +11,45 @@ scheduled for the same timestamp fire in schedule order, so a given seed
 always produces an identical trace.  Time is a float in *simulated
 cycles* of the machine being modelled; helpers for converting to
 nanoseconds/microseconds live on the machine parameter objects.
+
+Hot path
+--------
+``Environment.step()`` / ``Process._resume()`` dominate the wall-clock
+of every figure reproduction (see EXPERIMENTS.md "Benchmark gate"), so
+the kernel keeps a *fast path* that is *cycle-for-cycle identical* to
+the straightforward implementation — same event order, same simulated
+times — but cheaper on the host:
+
+* zero-delay events (every ``succeed``/``fail``, process init/interrupt
+  wakes, condition triggers) go to a FIFO deque instead of the heap.
+  Because the clock cannot advance past a pending event, all deque
+  entries share the current timestamp and carry their schedule sequence
+  number; :meth:`Environment.step` merges deque and heap by
+  ``(time, seq)``, reproducing exact heap order with O(1) scheduling
+  for the dominant zero-delay class;
+* ``Event.callbacks`` is lazily allocated (``None`` until the first
+  waiter registers; reset to ``None`` once processed), so events nobody
+  waits on never allocate a list;
+* each :class:`Process` reuses one bound ``_resume`` callback for every
+  wait instead of materialising a new bound method per yield;
+* :meth:`Environment.step` inlines callback processing, and
+  :class:`Timeout` initialises its slots directly — the common
+  ``timeout -> resume`` cycle runs without intermediate method calls;
+* every :class:`Event` subclass is ``__slots__``-complete (no instance
+  dicts on the hot path).
+
+Setting ``REPRO_ENGINE_SLOWPATH=1`` in the environment before creating
+an :class:`Environment` routes *all* scheduling through the heap (the
+reference behaviour).  The determinism suite
+(``tests/sim/test_determinism.py``) asserts both paths produce
+bit-identical trajectories.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -28,6 +62,8 @@ __all__ = [
     "AnyOf",
     "SimulationError",
 ]
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -57,14 +93,19 @@ class Event:
 
     An event is *triggered* with either a value (:meth:`succeed`) or an
     exception (:meth:`fail`).  Callbacks registered before processing run
-    in registration order when the event is popped from the event heap.
+    in registration order when the event is popped from the event queue.
+
+    ``callbacks`` is ``None`` both before any callback registers (lazy
+    allocation — most events never get a waiter) and again after the
+    event has been processed; test ``_state`` (via :attr:`processed`)
+    to distinguish, never ``callbacks is None`` alone.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_exc", "_state", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._state = _PENDING
@@ -82,11 +123,11 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (valid once triggered)."""
-        return self.triggered and self._exc is None
+        return self._state != _PENDING and self._exc is None
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._state == _PENDING:
             raise SimulationError("value of untriggered event")
         if self._exc is not None:
             raise self._exc
@@ -98,7 +139,12 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        if env._fastpath:
+            env._imm.append((env._now, seq, self))
+        else:
+            heapq.heappush(env._queue, (env._now, seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -108,7 +154,12 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
         self._state = _TRIGGERED
-        self.env._schedule(self, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        if env._fastpath:
+            env._imm.append((env._now, seq, self))
+        else:
+            heapq.heappush(env._queue, (env._now, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -119,12 +170,20 @@ class Event:
             self.succeed(event._value)
 
     # -- engine internals ---------------------------------------------
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` (event must not be processed yet)."""
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = [cb]
+        else:
+            cbs.append(cb)
+
     def _process_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         self._state = _PROCESSED
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(self)
+        if callbacks is not None:
+            for cb in callbacks:
+                cb(self)
         if self._exc is not None and not self._defused:
             # Nobody waited on a failed event: surface the error rather
             # than losing it silently.
@@ -143,15 +202,27 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Initialise slots directly (no Event.__init__ call): a Timeout
+        # is born triggered, and this constructor is the hottest
+        # allocation site in the simulator.
+        self.env = env
+        self.callbacks = None
         self._value = value
+        self._exc = None
         self._state = _TRIGGERED
-        env._schedule(self, delay)
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        if delay == 0.0 and env._fastpath:
+            env._imm.append((env._now, seq, self))
+        else:
+            heapq.heappush(env._queue, (env._now + delay, seq, self))
 
 
 class _ConditionValue:
     """Ordered mapping of events -> values for AllOf/AnyOf results."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[Event]) -> None:
         self.events = list(events)
@@ -176,16 +247,20 @@ class _Condition(Event):
             self.succeed(_ConditionValue([]))
             return
         for ev in self._events:
-            if ev.processed:
+            if ev._state == _PROCESSED:
                 self._check(ev)
             else:
-                if ev.callbacks is None:
-                    self._check(ev)
-                else:
-                    ev.callbacks.append(self._check)
+                ev._add_callback(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
+            # The condition already triggered.  A constituent that
+            # *fails* afterwards must still be defused here — this
+            # callback is its only consumer, and an un-defused failure
+            # would crash the run from _process_callbacks (e.g. an
+            # AnyOf whose losing member later fails).
+            if event._exc is not None:
+                event._defused = True
             return
         self._count += 1
         if event._exc is not None:
@@ -225,7 +300,7 @@ class Process(Event):
     Event that fires with the generator's return value when it finishes.
     """
 
-    __slots__ = ("gen", "name", "_target", "_interrupts")
+    __slots__ = ("gen", "name", "_target", "_interrupts", "_resume_cb")
 
     def __init__(
         self,
@@ -240,8 +315,11 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
         self._interrupts: list[Interrupt] = []
+        #: One bound method reused for every wait (a fresh bound-method
+        #: object per yield is pure allocator churn on the hot path).
+        self._resume_cb = self._resume
         init = Event(env)
-        init.callbacks.append(self._resume)
+        init.callbacks = [self._resume_cb]
         init.succeed()
 
     @property
@@ -250,33 +328,33 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._state != _PENDING:
             raise SimulationError(f"cannot interrupt finished {self.name}")
         self._interrupts.append(Interrupt(cause))
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
         wake = Event(self.env)
-        wake.callbacks.append(self._resume)
+        wake.callbacks = [self._resume_cb]
         wake.succeed()
 
     def _resume(self, event: Event) -> None:
         env = self.env
         env._active_process = self
+        gen = self.gen
         while True:
             try:
                 if self._interrupts:
-                    intr = self._interrupts.pop(0)
-                    next_ev = self.gen.throw(intr)
+                    next_ev = gen.throw(self._interrupts.pop(0))
                 elif event._exc is not None:
                     event._defused = True
-                    next_ev = self.gen.throw(event._exc)
+                    next_ev = gen.throw(event._exc)
                 else:
-                    next_ev = self.gen.send(event._value)
+                    next_ev = gen.send(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 if self._state == _PENDING:
@@ -293,12 +371,16 @@ class Process(Event):
                 err = SimulationError(
                     f"process {self.name!r} yielded non-event {next_ev!r}"
                 )
-                self.gen.throw(err)
+                gen.throw(err)
                 raise err
 
-            if next_ev.callbacks is not None:
+            if next_ev._state != _PROCESSED:
                 # Not yet processed: wait for it.
-                next_ev.callbacks.append(self._resume)
+                cbs = next_ev.callbacks
+                if cbs is None:
+                    next_ev.callbacks = [self._resume_cb]
+                else:
+                    cbs.append(self._resume_cb)
                 self._target = next_ev
                 env._active_process = None
                 return
@@ -308,12 +390,36 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock + event heap + factories."""
+    """The simulation environment: clock + event queues + factories.
+
+    Two pending-event stores cooperate (see the module docstring):
+    ``_queue`` is the timestamp heap; ``_imm`` is the FIFO deque of
+    zero-delay events, all stamped with the current time and a schedule
+    sequence number.  :meth:`step` pops whichever holds the globally
+    smallest ``(time, seq)``, so the merged order is exactly the
+    classic single-heap order.
+    """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_imm",
+        "_seq",
+        "_fastpath",
+        "_active_process",
+        "events_executed",
+        "tracer",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        #: Zero-delay events: (time, seq, event), FIFO == (time, seq) order.
+        self._imm: deque[tuple[float, int, Event]] = deque()
         self._seq = 0
+        #: REPRO_ENGINE_SLOWPATH=1 forces all scheduling through the
+        #: heap (reference path, bit-identical results — see module doc).
+        self._fastpath = os.environ.get("REPRO_ENGINE_SLOWPATH") != "1"
         self._active_process: Optional[Process] = None
         #: Events processed so far.  Maintained unconditionally (an int
         #: add is far cheaper than a tracer call on the hottest loop in
@@ -351,32 +457,70 @@ class Environment:
 
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        if delay == 0.0 and self._fastpath:
+            self._imm.append((self._now, seq, event))
+        else:
+            heapq.heappush(self._queue, (self._now + delay, seq, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or +inf if none.
+
+        A pending zero-delay event always carries the current time (the
+        clock cannot advance past it), so the deque head — when present
+        — is never later than the heap head.
+        """
+        imm = self._imm
+        if imm:
+            return imm[0][0]
+        q = self._queue
+        return q[0][0] if q else _INF
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one event (the globally next in (time, seq))."""
+        imm = self._imm
+        q = self._queue
+        if imm:
+            # Deque entries all carry time == now; a heap entry wins
+            # only when it was scheduled earlier at this same timestamp
+            # (same time, smaller seq).  Tuple compare never reaches the
+            # event element: (time, seq) is unique.
+            if q and q[0] < imm[0]:
+                when, _, event = heapq.heappop(q)
+            else:
+                when, _, event = imm.popleft()
+        elif q:
+            when, _, event = heapq.heappop(q)
+        else:
             raise SimulationError("step() on empty event queue")
-        when, _, event = heapq.heappop(self._queue)
         self._now = when
         self.events_executed += 1
-        event._process_callbacks()
+        # Inlined Event._process_callbacks (hot loop).
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = _PROCESSED
+        if callbacks is not None:
+            for cb in callbacks:
+                cb(event)
+        if event._exc is not None and not event._defused:
+            raise event._exc
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the given time or event; returns the event's value.
 
-        With ``until=None`` runs until the event queue drains.
+        With ``until=None`` runs until the event queue drains.  A
+        numeric ``until=t`` is an *exclusive* bound: events scheduled
+        exactly at ``t`` are **not** executed (they belong to the next
+        window), and the clock lands exactly on ``t`` — repeated
+        windowed ``run(until=...)`` calls each process only their own
+        half-open ``[start, t)`` window, matching the documented
+        SimPy-flavoured semantics.
         """
         stop_event: Optional[Event] = None
-        stop_time = float("inf")
+        stop_time = _INF
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
+            if stop_event._state == _PROCESSED:
                 return stop_event.value
         elif until is not None:
             stop_time = float(until)
@@ -385,17 +529,26 @@ class Environment:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if self._queue[0][0] > stop_time:
+        step = self.step
+        imm = self._imm
+        q = self._queue
+        if stop_event is None and stop_time == _INF:
+            # Drain-the-queue loop (the common benchmark shape).
+            while imm or q:
+                step()
+            return None
+
+        while imm or q:
+            if (imm[0][0] if imm else q[0][0]) >= stop_time:
                 self._now = stop_time
                 return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
+            step()
+            if stop_event is not None and stop_event._state == _PROCESSED:
                 return stop_event.value
         if stop_event is not None:
             raise SimulationError(
                 f"run() ran out of events before {stop_event!r} triggered"
             )
-        if stop_time != float("inf"):
+        if stop_time != _INF:
             self._now = stop_time
         return None

@@ -1,0 +1,132 @@
+"""Determinism fuzz suite for the engine fast path.
+
+Two properties, checked over randomized producer/consumer workloads:
+
+1. **Run-to-run determinism** — the same seed produces bit-identical
+   trajectories (event counts, final simulated time, queue and L2
+   statistics) across repeated runs.
+
+2. **Fast path == slow path** — setting ``REPRO_ENGINE_SLOWPATH=1``
+   (which routes every event through the reference heap instead of the
+   zero-delay deque, see ``repro.sim.engine``) yields a bit-identical
+   trajectory.  This is the engine's core invariant: the fast path must
+   be cycle-for-cycle neutral, not merely "statistically equivalent".
+
+All random choices are drawn *before* the simulation starts, so the
+workload itself cannot leak host iteration order into the trajectory.
+"""
+
+import random
+
+import pytest
+
+from repro.bgq import BGQMachine
+from repro.converse import RunConfig
+from repro.harness.pingpong import pingpong_run
+from repro.queues import L2AtomicQueue, MutexQueue
+from repro.sim import Environment
+
+SEEDS = [7, 23, 1234]
+
+
+def _fuzz_workload(seed: int) -> dict:
+    """Randomized queues + SMT compute + wakeup workload; returns a
+    trajectory fingerprint (exact reprs, no tolerances)."""
+    rng = random.Random(seed)
+    # Pre-draw every random choice (see module docstring).
+    qsize = rng.choice([1, 2, 4, 16])
+    n_producers = rng.randint(2, 5)
+    plans = [
+        [(rng.randint(0, 4000), rng.randint(0, 1)) for _ in range(rng.randint(3, 12))]
+        for _ in range(n_producers)
+    ]
+    compute_plans = [
+        (rng.randint(1, 6), rng.uniform(100, 5000), rng.choice([1.0, 1.0, 0.25]))
+        for _ in range(rng.randint(1, 4))
+    ]
+    total = sum(len(p) for p in plans)
+
+    env = Environment()
+    machine = BGQMachine(env, 1)
+    node = machine.node(0)
+    l2q = L2AtomicQueue(env, node.l2, size=qsize)
+    mq = MutexQueue(env)
+    received = []
+
+    def producer(pid, plan):
+        thread = node.thread(8 + pid)
+        for i, (delay, which) in enumerate(plan):
+            yield env.timeout(delay)
+            q = l2q if which == 0 else mq
+            yield from q.enqueue(thread, (pid, i))
+
+    def consumer():
+        thread = node.thread(0)
+        while len(received) < total:
+            item = yield from l2q.dequeue(thread)
+            if item is None:
+                item = yield from mq.dequeue(thread)
+            if item is not None:
+                received.append(item)
+                continue
+            # Sleep on the queues' wakeup sources (arm/disarm path).
+            armed = [(s, s.arm(latency=60.0)) for s in (l2q.wakeup, mq.wakeup)]
+            yield env.any_of([ev for _, ev in armed])
+            for s, ev in armed:
+                s.disarm(ev)
+
+    def computer(cid, reps, instr, weight):
+        thread = node.thread(1 + cid)
+        for _ in range(reps):
+            yield from thread.compute(instr, weight)
+            yield env.timeout(17 * (cid + 1))
+
+    for pid, plan in enumerate(plans):
+        env.process(producer(pid, plan))
+    env.process(consumer())
+    for cid, (reps, instr, weight) in enumerate(compute_plans):
+        env.process(computer(cid, reps, instr, weight))
+    env.run()
+
+    return {
+        "now": repr(env.now),
+        "events": env.events_executed,
+        "received": received,
+        "l2q": (l2q.enqueues, l2q.dequeues, l2q.overflow_enqueues),
+        "mq": (mq.enqueues, mq.dequeues),
+        "l2_ops": node.l2.op_count,
+        "wakeups": (l2q.wakeup.signals, l2q.wakeup.wakeups, mq.wakeup.signals),
+        "instructions": repr(sum(t.instructions for t in node.threads)),
+    }
+
+
+def _pingpong_fingerprint() -> dict:
+    run = pingpong_run(
+        RunConfig(nnodes=2, workers_per_process=2, comm_threads_per_process=1),
+        nbytes=256,
+        trips=6,
+    )
+    return {"sim_time": repr(run["sim_time"]), "events": run["events"]}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_workload_run_twice_identical(seed):
+    assert _fuzz_workload(seed) == _fuzz_workload(seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_workload_fastpath_matches_slowpath(seed, monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_SLOWPATH", raising=False)
+    fast = _fuzz_workload(seed)
+    monkeypatch.setenv("REPRO_ENGINE_SLOWPATH", "1")
+    slow = _fuzz_workload(seed)
+    assert fast == slow
+
+
+def test_pingpong_fastpath_matches_slowpath(monkeypatch):
+    """Full-stack coverage: Converse runtime + PAMI + MU + torus."""
+    monkeypatch.delenv("REPRO_ENGINE_SLOWPATH", raising=False)
+    fast = _pingpong_fingerprint()
+    monkeypatch.setenv("REPRO_ENGINE_SLOWPATH", "1")
+    slow = _pingpong_fingerprint()
+    assert fast == slow

@@ -142,6 +142,33 @@ def test_run_until_time_stops_clock_exactly():
     assert env.now == 25
 
 
+def test_run_until_time_bound_is_exclusive():
+    """Events scheduled exactly at `until` belong to the *next* window.
+
+    Regression test: the bound used to be inclusive (`> stop_time`), so
+    windowed drivers calling run(until=...) repeatedly executed boundary
+    events in the wrong window.
+    """
+    env = Environment()
+    hits = []
+
+    def proc():
+        yield env.timeout(10)
+        hits.append(env.now)
+        yield env.timeout(10)
+        hits.append(env.now)
+
+    env.process(proc())
+    env.run(until=10)
+    assert hits == []  # the t=10 event is outside the [0, 10) window
+    assert env.now == 10
+    env.run(until=20)
+    assert hits == [10.0]  # window [10, 20): the t=20 event again excluded
+    assert env.now == 20
+    env.run()
+    assert hits == [10.0, 20.0]
+
+
 def test_run_until_event():
     env = Environment()
     ev = env.event()
@@ -217,6 +244,58 @@ def test_all_of_empty_fires_immediately():
     env.process(proc())
     env.run()
     assert got == [0]
+
+
+def test_any_of_member_failing_after_trigger_is_defused():
+    """A constituent that fails *after* the condition fired must not
+    crash the run.
+
+    Regression test: `_Condition._check` used to return without
+    defusing late failures, so an AnyOf whose losing member later
+    failed raised the member's exception from the event loop.
+    """
+    env = Environment()
+    loser = env.event()
+    got = []
+
+    def proc():
+        winner = env.timeout(5, value="won")
+        res = yield env.any_of([winner, loser])
+        got.append((env.now, list(res)))
+
+    def late_failer():
+        yield env.timeout(10)
+        loser.fail(RuntimeError("late failure"))
+
+    env.process(proc())
+    env.process(late_failer())
+    env.run()  # pre-fix: raised RuntimeError("late failure")
+    assert got == [(5, ["won"])]
+    assert env.now == 10
+
+
+def test_all_of_second_failure_after_condition_failed_is_defused():
+    env = Environment()
+    a = env.event()
+    b = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield env.all_of([a, b])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1)
+        a.fail(RuntimeError("first"))
+        yield env.timeout(1)
+        b.fail(RuntimeError("second"))
+
+    env.process(proc())
+    env.process(failer())
+    env.run()  # pre-fix: raised RuntimeError("second")
+    assert caught == ["first"]
 
 
 def test_interrupt_thrown_into_waiting_process():

@@ -290,3 +290,90 @@ def test_property_no_loss_no_dup_arbitrary_interleaving(ops, qsize):
     env.process(consumer())
     env.run()
     assert sorted(received) == sorted(sent)
+
+
+def test_inflight_head_does_not_starve_overflow():
+    """A stalled producer (counter incremented, slot pointer not yet
+    written) must not starve messages parked in the overflow deque.
+
+    Regression test: `L2AtomicQueue.dequeue` used to return None
+    whenever the head slot was in-flight, even with deliverable
+    overflow messages — the consumer could spin on None indefinitely
+    behind one stalled producer.  Charm++ has no ordering requirement,
+    so the dequeue falls through to the overflow check.
+    """
+    from repro.bgq.l2 import BOUNDED_INCREMENT_FAILED
+
+    env, node = one_node()
+    q = L2AtomicQueue(env, node.l2, size=1)
+    got = []
+
+    def stalled_producer():
+        # Wins the slot... then never writes the message pointer.
+        thread = node.thread(4)
+        yield from thread.compute(10)
+        slot = yield from q.l2.load_increment_bounded(q.counter)
+        assert slot is not BOUNDED_INCREMENT_FAILED
+
+    def overflow_producer():
+        # Queue (size 1) is claimed: lands in the overflow deque.
+        thread = node.thread(5)
+        yield env.timeout(5_000)
+        yield from q.enqueue(thread, "parked")
+        assert q.overflow_enqueues == 1
+
+    def consumer():
+        thread = node.thread(0)
+        yield env.timeout(10_000)
+        assert q.has_ready()
+        got.append((yield from q.dequeue(thread)))
+
+    env.process(stalled_producer())
+    env.process(overflow_producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["parked"]  # pre-fix: [None] forever
+
+
+def test_mpi_ordered_inflight_head_blocks_overflow():
+    """Contrast case: the MPI-ordered queue must *not* overtake an
+    in-flight head — ordering requires returning None until the stalled
+    producer completes."""
+    from repro.bgq.l2 import BOUNDED_INCREMENT_FAILED
+
+    env, node = one_node()
+    q = MPIOrderedQueue(env, node.l2, size=1)
+    got = []
+
+    def flow():
+        prod = node.thread(4)
+        cons = node.thread(0)
+        slot = yield from q.l2.load_increment_bounded(q.counter)
+        assert slot is not BOUNDED_INCREMENT_FAILED
+        yield from q.enqueue(prod, "parked")  # -> overflow
+        assert not q.has_ready()
+        got.append((yield from q.dequeue(cons)))
+
+    env.process(flow())
+    env.run()
+    assert got == [None]
+
+
+def test_has_ready_matches_dequeue_progress():
+    """has_ready() is exactly "dequeue would deliver or charge work"."""
+    env, node = one_node()
+    q = L2AtomicQueue(env, node.l2, size=4)
+    mq = MutexQueue(env)
+    assert not q.has_ready()  # empty lockless queue: nothing to do
+    assert mq.has_ready()  # mutex queue always pays the lock
+
+    def flow():
+        thread = node.thread(4)
+        yield from q.enqueue(thread, "x")
+        assert q.has_ready()
+        item = yield from q.dequeue(thread)
+        assert item == "x"
+        assert not q.has_ready()
+
+    env.process(flow())
+    env.run()
