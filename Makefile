@@ -2,12 +2,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test trace-test trace-demo bench bench-gate
+.PHONY: tier1 test lint trace-test trace-demo bench bench-gate
 
-tier1: test bench-gate  ## full tier-1 flow: test suite + benchmark gate
+tier1: test bench-gate lint  ## full tier-1 flow: tests + benchmark gate + lint
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
+
+lint:            ## repro-lint static analysis (determinism + runtime protocol,
+                 ## docs/ANALYSIS.md); exits nonzero on any un-baselined violation
+	$(PYTHON) -m repro.analysis
 
 bench-gate:      ## hot-path benchmark gate: writes the next BENCH_NNNN.json at the
                  ## repo root and exits nonzero on >10% events/sec regression or any

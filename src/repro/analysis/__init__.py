@@ -1,0 +1,45 @@
+"""repro.analysis — determinism & runtime-protocol static analysis.
+
+``repro-lint`` walks the AST of ``src/`` and ``tests/`` and enforces
+the invariants the benchmark gate and fuzz suites only check after the
+fact: no host-order leaks into the simulated trajectory (rules D1-D4)
+and no runtime-protocol misuse (rules P1-P4).  A small dynamic
+sanitizer (``REPRO_SANITIZE=1``, :mod:`repro.analysis.sanitizer`)
+covers what static analysis cannot prove.
+
+Entry points: ``python -m repro.analysis`` or ``make lint``; the rule
+catalog lives in docs/ANALYSIS.md.
+"""
+
+from .baseline import Baseline
+from .config import Config, find_root, load_config
+from .core import (
+    AnalysisResult,
+    Analyzer,
+    FileContext,
+    Rule,
+    Violation,
+    all_rule_classes,
+    default_rules,
+    register,
+)
+from .sanitizer import SanitizerError, check_ordered, sanitize_enabled, sanitized
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "Config",
+    "FileContext",
+    "Rule",
+    "SanitizerError",
+    "Violation",
+    "all_rule_classes",
+    "check_ordered",
+    "default_rules",
+    "find_root",
+    "load_config",
+    "register",
+    "sanitize_enabled",
+    "sanitized",
+]

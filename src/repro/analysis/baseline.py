@@ -1,0 +1,70 @@
+"""Baseline file: grandfathered violations.
+
+The baseline lets the lint gate turn on strict without first rewriting
+history: known violations are recorded once and suppressed until the
+offending line changes.  Entries are matched by
+``(rule, path, stripped source line)`` — *not* line number — so
+unrelated edits above a grandfathered line do not resurrect it, while
+any edit *to* the line itself forces a fresh decision (fix or pragma).
+
+Stale entries (no longer matching any violation) are reported so the
+baseline only ever shrinks.  ``python -m repro.analysis
+--write-baseline`` regenerates the file from current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .core import Violation
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Set of grandfathered violation fingerprints, JSON-backed."""
+
+    def __init__(self, fingerprints: Iterable[Tuple[str, str, str]] = ()) -> None:
+        self._entries: Set[Tuple[str, str, str]] = set(fingerprints)
+
+    # -- membership ---------------------------------------------------------
+    def contains(self, violation: Violation) -> bool:
+        return violation.fingerprint in self._entries
+
+    def fingerprints(self) -> List[Tuple[str, str, str]]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- persistence --------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not Path(path).is_file():
+            return cls()
+        with open(path) as f:
+            data = json.load(f)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(
+            (e["rule"], e["path"], e["text"]) for e in data.get("entries", [])
+        )
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        return cls(v.fingerprint for v in violations)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": p, "text": text}
+            for rule, p, text in self.fingerprints()
+        ]
+        with open(path, "w") as f:
+            json.dump({"version": _VERSION, "entries": entries}, f, indent=2)
+            f.write("\n")

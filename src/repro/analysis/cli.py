@@ -1,0 +1,187 @@
+"""repro-lint command line: ``python -m repro.analysis`` / ``make lint``.
+
+Exit status: 0 when every finding is suppressed (pragma or baseline),
+1 when unsuppressed violations remain, 2 on usage errors.  ``--self-
+check`` injects one violation per rule family into a scratch directory
+and verifies the analyzer catches both — CI runs it so a silently
+broken rule set cannot keep returning green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .config import Config, find_root, load_config
+from .core import Analyzer, all_rule_classes, default_rules
+
+__all__ = ["main", "run_self_check"]
+
+#: One deliberately-bad snippet per rule family; --self-check verifies
+#: each is caught (determinism family via D2, protocol family via P2).
+_SELF_CHECK_SNIPPETS = {
+    "D2": (
+        "injected_determinism.py",
+        "import random\n\n\ndef jitter():\n    return random.random()\n",
+    ),
+    "P2": (
+        "injected_protocol.py",
+        "from repro.sim.engine import Event\n\n\n"
+        "class Signal(Event):\n    pass\n",
+    ),
+}
+
+
+def run_self_check(config: Config) -> int:
+    """Inject one violation per family; return 0 iff both are caught."""
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-lint-selfcheck-") as tmp:
+        tmpdir = Path(tmp)
+        for rule_id, (fname, source) in _SELF_CHECK_SNIPPETS.items():
+            (tmpdir / fname).write_text(source)
+        analyzer = Analyzer(tmpdir, default_rules(config), baseline=None)
+        result = analyzer.run([str(tmpdir)])
+        fired = {v.rule for v in result.violations}
+        for rule_id, (fname, _) in _SELF_CHECK_SNIPPETS.items():
+            if rule_id in fired:
+                print(f"self-check: {rule_id} caught injected violation in {fname}")
+            else:
+                failures.append(rule_id)
+    if failures:
+        print(
+            f"self-check FAILED: rule(s) {', '.join(failures)} missed their "
+            "injected violation",
+            file=sys.stderr,
+        )
+        return 1
+    print("self-check: PASS (one injected violation per family, both caught)")
+    return 0
+
+
+def _list_rules() -> None:
+    for rule_id, cls in all_rule_classes().items():
+        print(f"{rule_id}  [{cls.severity:7s}]  {cls.title}")
+        print(f"    {' '.join(cls.rationale.split())}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: determinism & runtime-protocol static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/dirs to analyze (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: configured set)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="output format",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report grandfathered violations too)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current unsuppressed violations to the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="verify each rule family catches an injected violation",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print per-rule violation counts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    config = load_config(args.root if args.root else find_root())
+    if args.rules:
+        config.rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = set(config.rules) - set(all_rule_classes())
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    if args.self_check:
+        return run_self_check(config)
+
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(config.baseline_path)
+
+    analyzer = Analyzer(config.root, default_rules(config), baseline=baseline)
+    paths = args.paths or config.paths
+    result = analyzer.run(paths, exclude=config.exclude)
+
+    if args.write_baseline:
+        Baseline.from_violations(result.violations).save(config.baseline_path)
+        print(
+            f"repro-lint: wrote {len(result.violations)} grandfathered "
+            f"entr{'y' if len(result.violations) == 1 else 'ies'} to "
+            f"{config.baseline_path}"
+        )
+        return 0
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "files_analyzed": result.files_analyzed,
+                    "violations": [v.__dict__ for v in result.violations],
+                    "pragma_suppressed": len(result.pragma_suppressed),
+                    "baseline_suppressed": len(result.baseline_suppressed),
+                    "stale_baseline": [list(fp) for fp in result.stale_baseline],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for v in result.violations:
+            print(v.format())
+        if args.statistics:
+            counts: dict = {}
+            for v in result.violations:
+                counts[v.rule] = counts.get(v.rule, 0) + 1
+            for rule_id in sorted(counts):
+                print(f"  {rule_id}: {counts[rule_id]}")
+        suppressed = ""
+        if result.pragma_suppressed or result.baseline_suppressed:
+            suppressed = (
+                f" ({len(result.pragma_suppressed)} pragma-suppressed, "
+                f"{len(result.baseline_suppressed)} baselined)"
+            )
+        status = "PASS" if result.ok else f"{len(result.violations)} violation(s)"
+        print(
+            f"repro-lint: {result.files_analyzed} files, {status}{suppressed}"
+        )
+        for rule_id, path, text in result.stale_baseline:
+            print(
+                f"repro-lint: stale baseline entry {rule_id} @ {path}: {text!r} "
+                "(fixed? remove it)",
+            )
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""``[tool.repro-lint]`` configuration loading.
+
+Configuration lives in ``pyproject.toml`` so the lint pass, CI, and
+editors all read one source of truth::
+
+    [tool.repro-lint]
+    paths = ["src", "tests"]
+    exclude = ["tests/analysis/fixtures"]
+    rules = ["D1", "D2", "D3", "D4", "P1", "P2", "P3", "P4"]
+    baseline = "lint-baseline.json"
+    wallclock-allow = ["src/repro/harness", "src/repro/trace"]
+
+Parsed with :mod:`tomllib` (Python >= 3.11).  On 3.10, where tomllib
+does not exist and the offline container bakes no TOML parser, the
+defaults below apply unchanged — they mirror the checked-in table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback, defaults only
+    tomllib = None
+
+__all__ = ["Config", "load_config", "find_root"]
+
+_DEFAULT_PATHS = ("src", "tests")
+_DEFAULT_WALLCLOCK_ALLOW = ("src/repro/harness", "src/repro/trace")
+
+
+@dataclass
+class Config:
+    """Resolved repro-lint settings (defaults == the shipped pyproject)."""
+
+    root: Path = field(default_factory=Path.cwd)
+    paths: List[str] = field(default_factory=lambda: list(_DEFAULT_PATHS))
+    exclude: List[str] = field(default_factory=list)
+    rules: Optional[List[str]] = None  # None = every registered rule
+    baseline: str = "lint-baseline.json"
+    wallclock_allow: Tuple[str, ...] = _DEFAULT_WALLCLOCK_ALLOW
+
+    @property
+    def baseline_path(self) -> Path:
+        return self.root / self.baseline
+
+
+def find_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor directory holding a pyproject.toml (else start)."""
+    start = (start or Path.cwd()).resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def load_config(root: Optional[Path] = None) -> Config:
+    """Load ``[tool.repro-lint]`` from ``<root>/pyproject.toml``."""
+    root = (root or find_root()).resolve()
+    cfg = Config(root=root)
+    pyproject = root / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return cfg
+    with open(pyproject, "rb") as f:
+        data = tomllib.load(f)
+    table = data.get("tool", {}).get("repro-lint", {})
+    if "paths" in table:
+        cfg.paths = list(table["paths"])
+    if "exclude" in table:
+        cfg.exclude = list(table["exclude"])
+    if "rules" in table:
+        cfg.rules = list(table["rules"])
+    if "baseline" in table:
+        cfg.baseline = str(table["baseline"])
+    if "wallclock-allow" in table:
+        cfg.wallclock_allow = tuple(table["wallclock-allow"])
+    return cfg

@@ -1,0 +1,340 @@
+"""repro-lint core: AST visitor, rule registry, pragmas, suppression.
+
+The analyzer exists because this reproduction's results are only
+meaningful while the DES stays bit-deterministic (the benchmark gate
+hashes exact simulated-time reprs, EXPERIMENTS.md) and while every
+component speaks the engine's protocol (generator processes yield
+Events, Event subclasses stay ``__slots__``-complete for the PR 2 fast
+path, nobody reaches into ``Environment`` internals).  Fuzz tests catch
+violations after the fact; this pass catches them at analysis time.
+
+Design:
+
+* each :class:`Rule` subscribes to AST node-type names; one recursive
+  walk per file dispatches nodes to the subscribed rules, maintaining
+  an ancestor ``stack`` so rules can ask about enclosing classes,
+  functions, or call sites;
+* violations are suppressible three ways, checked in this order —
+  a line pragma (``# repro-lint: disable=D1,P2``), a file pragma
+  (``# repro-lint: disable-file=D1`` anywhere in the file), or an entry
+  in the checked-in baseline file (grandfathered violations, matched by
+  ``(rule, path, stripped source line)`` so line-number churn does not
+  invalidate them);
+* rules carry a severity (``error``/``warning``) for reporting; any
+  unsuppressed violation fails the run regardless (determinism bugs do
+  not become acceptable by being labelled warnings).
+
+See docs/ANALYSIS.md for the rule catalog and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "FileContext",
+    "Analyzer",
+    "AnalysisResult",
+    "register",
+    "all_rule_classes",
+    "default_rules",
+    "dotted_name",
+    "last_name",
+]
+
+#: Line pragma: ``# repro-lint: disable=D1`` / ``disable=D1,P3`` /
+#: ``disable=all``; ``disable-file=...`` suppresses for the whole file.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)="
+    r"(all|[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+)
+
+_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and the offending source line."""
+
+    rule: str
+    severity: str
+    path: str  # posix path relative to the analysis root
+    line: int
+    col: int
+    message: str
+    line_text: str  # stripped source line (baseline fingerprint)
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+# -- rule registry -----------------------------------------------------------
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator: add a Rule subclass to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_classes() -> Dict[str, Type["Rule"]]:
+    """Every registered rule class, importing the shipped rule modules."""
+    from . import rules_determinism, rules_protocol  # noqa: F401 (registration)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def default_rules(config=None) -> List["Rule"]:
+    """Instantiate the enabled rules (all registered rules by default)."""
+    classes = all_rule_classes()
+    enabled = None if config is None else config.rules
+    out = []
+    for rule_id, cls in classes.items():
+        if enabled is not None and rule_id not in enabled:
+            continue
+        out.append(cls(config))
+    return out
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` / ``title`` / ``severity`` / ``rationale``,
+    subscribe to node-type names via ``node_types``, and implement
+    :meth:`check`, calling ``ctx.report(node, self, message)`` for each
+    finding.  ``config`` is the loaded ``[tool.repro-lint]`` table (or
+    None); rules with path allowlists read them from there.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+    node_types: Tuple[str, ...] = ()
+
+    def __init__(self, config=None) -> None:
+        self.config = config
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether this rule runs on the given file at all."""
+        return True
+
+    def check(self, node: ast.AST, ctx: "FileContext") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def last_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def contains(root: ast.AST, target: ast.AST) -> bool:
+    """Identity containment: is ``target`` a node inside ``root``'s subtree?"""
+    return any(n is target for n in ast.walk(root))
+
+
+class FileContext:
+    """Per-file analysis state handed to rules during the walk."""
+
+    def __init__(self, rel_path: str, tree: ast.AST, source: str) -> None:
+        self.rel_path = rel_path
+        self.tree = tree
+        self.lines = source.splitlines()
+        #: Ancestor nodes of the node currently being visited, root first
+        #: (the node itself is NOT on the stack while its rules run).
+        self.stack: List[ast.AST] = []
+        self.violations: List[Violation] = []
+        self.line_disabled: Dict[int, Set[str]] = {}
+        self.file_disabled: Set[str] = set()
+        self._scan_pragmas()
+
+    def _scan_pragmas(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            if "repro-lint" not in text:
+                continue
+            m = _PRAGMA_RE.search(text)
+            if not m:
+                continue
+            kind, rules = m.group(1), m.group(2)
+            ids = {_ALL} if rules == _ALL else {r.strip() for r in rules.split(",")}
+            if kind == "disable-file":
+                self.file_disabled |= ids
+            else:
+                self.line_disabled.setdefault(lineno, set()).update(ids)
+
+    # -- rule API -----------------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def enclosing_class(self) -> Optional[ast.ClassDef]:
+        for node in reversed(self.stack):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def enclosing_function(self):
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def report(self, node: ast.AST, rule: Rule, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.violations.append(
+            Violation(
+                rule=rule.id,
+                severity=rule.severity,
+                path=self.rel_path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                line_text=self.line_text(lineno),
+            )
+        )
+
+    def suppressed_by_pragma(self, v: Violation) -> bool:
+        if _ALL in self.file_disabled or v.rule in self.file_disabled:
+            return True
+        disabled = self.line_disabled.get(v.line, ())
+        return _ALL in disabled or v.rule in disabled
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    pragma_suppressed: List[Violation] = field(default_factory=list)
+    baseline_suppressed: List[Violation] = field(default_factory=list)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class Analyzer:
+    """Run a rule set over files under a root directory."""
+
+    def __init__(self, root: Path, rules: Sequence[Rule], baseline=None) -> None:
+        self.root = Path(root)
+        self.rules = list(rules)
+        self.baseline = baseline  # repro.analysis.baseline.Baseline or None
+        #: node-type name -> rules subscribed to it.
+        self._dispatch: Dict[str, List[Rule]] = {}
+        for rule in self.rules:
+            for nt in rule.node_types:
+                self._dispatch.setdefault(nt, []).append(rule)
+
+    # -- file discovery -----------------------------------------------------
+    def iter_files(
+        self, paths: Iterable[str], exclude: Sequence[str] = ()
+    ) -> List[Path]:
+        """Python files under ``paths`` (relative to root), exclusions applied.
+
+        Explicit ``.py`` file arguments bypass the exclusion list (so the
+        fixture suite can analyze its own deliberately-bad snippets while
+        directory scans skip them).
+        """
+        norm_excl = [e.rstrip("/") for e in exclude]
+        out: List[Path] = []
+        for p in paths:
+            full = (self.root / p) if not Path(p).is_absolute() else Path(p)
+            if full.is_file():
+                out.append(full)
+                continue
+            for f in sorted(full.rglob("*.py")):
+                rel = f.relative_to(self.root).as_posix()
+                if any(rel == e or rel.startswith(e + "/") for e in norm_excl):
+                    continue
+                out.append(f)
+        return out
+
+    # -- analysis -----------------------------------------------------------
+    def analyze_file(self, path: Path) -> FileContext:
+        rel = (
+            path.relative_to(self.root).as_posix()
+            if path.is_relative_to(self.root)
+            else path.as_posix()
+        )
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        ctx = FileContext(rel, tree, source)
+        dispatch = {
+            nt: [r for r in rules if r.applies_to(rel)]
+            for nt, rules in self._dispatch.items()
+        }
+        self._walk(tree, ctx, dispatch)
+        return ctx
+
+    def _walk(self, tree: ast.AST, ctx: FileContext, dispatch) -> None:
+        stack = ctx.stack
+
+        def visit(node: ast.AST) -> None:
+            rules = dispatch.get(type(node).__name__)
+            if rules:
+                for rule in rules:
+                    rule.check(node, ctx)
+            stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            stack.pop()
+
+        visit(tree)
+
+    def run(self, paths: Iterable[str], exclude: Sequence[str] = ()) -> AnalysisResult:
+        result = AnalysisResult()
+        matched_baseline: Set[Tuple[str, str, str]] = set()
+        for path in self.iter_files(paths, exclude):
+            ctx = self.analyze_file(path)
+            result.files_analyzed += 1
+            for v in ctx.violations:
+                if ctx.suppressed_by_pragma(v):
+                    result.pragma_suppressed.append(v)
+                elif self.baseline is not None and self.baseline.contains(v):
+                    result.baseline_suppressed.append(v)
+                    matched_baseline.add(v.fingerprint)
+                else:
+                    result.violations.append(v)
+        if self.baseline is not None:
+            result.stale_baseline = [
+                fp for fp in self.baseline.fingerprints() if fp not in matched_baseline
+            ]
+        return result

@@ -51,6 +51,24 @@ DISPATCH_RTS = 2
 DISPATCH_ACK = 3
 
 
+def _unique_by_identity(items) -> List[Any]:
+    """Order-preserving identity dedup.
+
+    Keeps the first occurrence of each distinct *object* (equal-but-
+    distinct objects are all kept).  The result order follows the input
+    order — an ``{id(x): x}`` mapping would key the output on interpreter
+    memory layout instead (repro-lint D4).
+    """
+    seen: set = set()
+    out: List[Any] = []
+    for obj in items:
+        key = id(obj)
+        if key not in seen:
+            seen.add(key)
+            out.append(obj)
+    return out
+
+
 @dataclass
 class RunConfig:
     """One launch configuration (the paper's "modes").
@@ -365,7 +383,9 @@ class ConverseRuntime:
         put("pami.completions", sum(c.completions_posted for c in contexts))
         put("pami.rgets", sum(c.rgets for c in contexts))
         put("pami.rputs", sum(c.rputs for c in contexts))
-        allocs = {id(proc.alloc): proc.alloc for proc in self.processes}.values()
+        # Processes may share one allocator; count each exactly once, in
+        # process order.
+        allocs = _unique_by_identity(proc.alloc for proc in self.processes)
         put("alloc.mallocs", sum(a.mallocs for a in allocs))
         put("alloc.frees", sum(a.frees for a in allocs))
         put("alloc.pool_hits", sum(getattr(a, "pool_hits", 0) for a in allocs))

@@ -43,6 +43,19 @@ an :class:`Environment` routes *all* scheduling through the heap (the
 reference behaviour).  The determinism suite
 (``tests/sim/test_determinism.py``) asserts both paths produce
 bit-identical trajectories.
+
+Sanitizer
+---------
+``REPRO_SANITIZE=1`` (sampled at :class:`Environment` construction,
+like the slow-path flag) routes stepping through a *checked* path that
+pops in exactly the same order but additionally detects runtime
+protocol violations the static pass (``repro.analysis``, rule docs in
+docs/ANALYSIS.md) cannot prove: reentrant ``step()``/``run()`` calls
+from inside event callbacks, callback registration on already-processed
+events (lost wakeups), and hash-ordered iterables handed to
+``any_of``/``all_of``.  The checks raise
+:class:`repro.analysis.sanitizer.SanitizerError`; the trajectory of a
+clean run is bit-identical to an unsanitized one.
 """
 
 from __future__ import annotations
@@ -172,6 +185,13 @@ class Event:
     # -- engine internals ---------------------------------------------
     def _add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb`` (event must not be processed yet)."""
+        if self._state == _PROCESSED and self.env._sanitize:
+            from ..analysis.sanitizer import SanitizerError
+
+            raise SanitizerError(
+                f"callback registered on already-processed {self!r} — it "
+                "would never fire (lost wakeup); wait on a fresh event"
+            )
         cbs = self.callbacks
         if cbs is None:
             self.callbacks = [cb]
@@ -241,6 +261,10 @@ class _Condition(Event):
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
+        if env._sanitize:
+            from ..analysis.sanitizer import check_ordered
+
+            check_ordered(events, type(self).__name__)
         self._events = list(events)
         self._count = 0
         if not self._events:
@@ -406,6 +430,8 @@ class Environment:
         "_imm",
         "_seq",
         "_fastpath",
+        "_sanitize",
+        "_stepping",
         "_active_process",
         "events_executed",
         "tracer",
@@ -420,6 +446,10 @@ class Environment:
         #: REPRO_ENGINE_SLOWPATH=1 forces all scheduling through the
         #: heap (reference path, bit-identical results — see module doc).
         self._fastpath = os.environ.get("REPRO_ENGINE_SLOWPATH") != "1"
+        #: REPRO_SANITIZE=1 routes step() through the checked path (see
+        #: module doc "Sanitizer"); trajectory-neutral, host-time only.
+        self._sanitize = os.environ.get("REPRO_SANITIZE") == "1"
+        self._stepping = False
         self._active_process: Optional[Process] = None
         #: Events processed so far.  Maintained unconditionally (an int
         #: add is far cheaper than a tracer call on the hottest loop in
@@ -478,6 +508,8 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (the globally next in (time, seq))."""
+        if self._sanitize:
+            return self._step_checked()
         imm = self._imm
         q = self._queue
         if imm:
@@ -504,6 +536,53 @@ class Environment:
                 cb(event)
         if event._exc is not None and not event._defused:
             raise event._exc
+
+    def _step_checked(self) -> None:
+        """Sanitized step: identical pop order, plus protocol checks.
+
+        Duplicates the (small) merge logic of :meth:`step` rather than
+        branching inside it, so the unsanitized hot loop stays exactly
+        as benchmarked.  Detects reentrant stepping (a callback calling
+        ``step()``/``run()``) and callbacks re-registered onto the event
+        being processed (a wakeup that would be lost silently).
+        """
+        from ..analysis.sanitizer import SanitizerError
+
+        if self._stepping:
+            raise SanitizerError(
+                "reentrant Environment.step(): an event callback invoked "
+                "step()/run() — schedule follow-up work as events instead"
+            )
+        self._stepping = True
+        try:
+            imm = self._imm
+            q = self._queue
+            if imm:
+                if q and q[0] < imm[0]:
+                    when, _, event = heapq.heappop(q)
+                else:
+                    when, _, event = imm.popleft()
+            elif q:
+                when, _, event = heapq.heappop(q)
+            else:
+                raise SimulationError("step() on empty event queue")
+            self._now = when
+            self.events_executed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            if callbacks is not None:
+                for cb in callbacks:
+                    cb(event)
+            if event.callbacks is not None:
+                raise SanitizerError(
+                    f"callback list of {event!r} repopulated while it was "
+                    "being processed — that callback would never fire"
+                )
+            if event._exc is not None and not event._defused:
+                raise event._exc
+        finally:
+            self._stepping = False
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the given time or event; returns the event's value.

@@ -1,0 +1,4 @@
+# Deliberately-bad/good source snippets for the repro-lint rule tests.
+# This directory is excluded from repo-wide lint runs (pyproject
+# [tool.repro-lint] exclude); the test suite analyzes the files
+# explicitly, which bypasses the exclusion.

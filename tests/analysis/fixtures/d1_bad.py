@@ -1,0 +1,10 @@
+"""D1 bad: host wall clock read inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(env, ev):
+    ev.created_at = time.time()
+    ev.also_bad = datetime.now()
+    return env

@@ -1,0 +1,6 @@
+"""D1 good: simulated time only."""
+
+
+def stamp_event(env, ev):
+    ev.created_at = env.now
+    return env

@@ -1,0 +1,18 @@
+"""D2 bad: module-global and unseeded RNGs."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)
+
+
+def noise(n):
+    rng = np.random.default_rng()
+    return rng.normal(size=n)
+
+
+def legacy(n):
+    return np.random.rand(n)

@@ -1,0 +1,14 @@
+"""D2 good: every stream is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed):
+    return random.Random(seed).uniform(0.0, 1.0)
+
+
+def noise(n, seed=1234):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)

@@ -1,0 +1,15 @@
+"""D3 bad: hash-ordered iteration drives event scheduling."""
+
+
+def flush(env, waiters):
+    for ev in set(waiters):
+        ev.succeed()
+
+
+def fanout(pe, targets, payload):
+    for rank in {t for t in targets}:
+        yield from pe.send(rank, 0, 64, payload)
+
+
+def wait_any(env, events):
+    return env.any_of(set(events))

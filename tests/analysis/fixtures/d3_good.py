@@ -1,0 +1,26 @@
+"""D3 good: deterministic order at every scheduling boundary.
+
+``sorted(set(...))`` is fine — the set is ordered before anything is
+scheduled from it; so is iterating a set for pure accounting.
+"""
+
+
+def flush(env, waiters):
+    for ev in sorted(set(waiters), key=lambda e: e.seq):
+        ev.succeed()
+
+
+def fanout(pe, targets, payload):
+    for rank in sorted(set(targets)):
+        yield from pe.send(rank, 0, 64, payload)
+
+
+def count_pending(events):
+    total = 0
+    for ev in set(events):  # no scheduling in the body: order-free
+        total += not ev.triggered
+    return total
+
+
+def wait_any(env, events):
+    return env.any_of(list(events))

@@ -1,0 +1,15 @@
+"""D4 bad: object addresses used as order or keys."""
+
+import heapq
+
+
+def drain_in_address_order(pending):
+    return sorted(pending, key=lambda msg: id(msg))
+
+
+def dedup_by_address(procs):
+    return {id(p): p for p in procs}.values()
+
+
+def push(heap, msg):
+    heapq.heappush(heap, (id(msg), msg))

@@ -1,0 +1,21 @@
+"""D4 good: explicit sequence numbers order; id() only for membership."""
+
+import heapq
+
+
+def drain_in_schedule_order(pending):
+    return sorted(pending, key=lambda msg: msg.seq)
+
+
+def dedup_keep_order(procs):
+    seen = set()
+    out = []
+    for p in procs:
+        if id(p) not in seen:  # identity *membership* is fine
+            seen.add(id(p))
+            out.append(p)
+    return out
+
+
+def push(heap, msg):
+    heapq.heappush(heap, (msg.seq, msg))

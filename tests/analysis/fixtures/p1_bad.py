@@ -1,0 +1,10 @@
+"""P1 bad: process generators yielding plain constants."""
+
+
+def worker(env):
+    yield 42
+
+
+def chatty(env):
+    yield env.timeout(5.0)
+    yield "done"

@@ -1,0 +1,15 @@
+"""P2 bad: Event subclasses that re-grow an instance dict."""
+
+from repro.sim.engine import Event, Timeout
+
+
+class Signal(Event):
+    """No __slots__: every instance gets a dict the fast path paid to avoid."""
+
+    def trigger_with_tag(self, tag):
+        self.tag = tag
+        return self.succeed(tag)
+
+
+class DelayedSignal(Timeout):
+    pass

@@ -1,0 +1,15 @@
+"""P2 good: slots-complete Event subclasses."""
+
+from repro.sim.engine import Event, Timeout
+
+
+class Signal(Event):
+    __slots__ = ("tag",)
+
+    def trigger_with_tag(self, tag):
+        self.tag = tag
+        return self.succeed(tag)
+
+
+class DelayedSignal(Timeout):
+    __slots__ = ()

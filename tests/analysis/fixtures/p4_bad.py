@@ -1,0 +1,14 @@
+"""P4 bad: a chare reaches into a peer's state directly."""
+
+from repro.charm.chare import Chare
+
+
+class Cell(Chare):
+    def __init__(self, idx):
+        self.temperature = 0.0
+
+    def equalize(self, neighbour):
+        # Zero-cost back channel: the runtime never sees this "message".
+        peer_t = self._array.element(neighbour).temperature
+        self._array.elements[neighbour].temperature = self.temperature
+        yield self.charge((peer_t - self.temperature) * 0.0 + 1.0)

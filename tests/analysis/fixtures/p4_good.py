@@ -1,0 +1,15 @@
+"""P4 good: peers are reached through entry-method delivery."""
+
+from repro.charm.chare import Chare
+
+
+class Cell(Chare):
+    def __init__(self, idx):
+        self.temperature = 0.0
+
+    def equalize(self, neighbour):
+        yield from self.send(neighbour, "take_heat", 16, self.temperature)
+
+    def take_heat(self, peer_t):
+        self.temperature = 0.5 * (self.temperature + peer_t)
+        yield self.charge(1.0)

@@ -1,0 +1,97 @@
+"""CLI surface: exit codes, formats, self-check, baseline writing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = "import random\n\n\ndef jitter():\n    return random.random()\n"
+
+
+def _project(tmp_path, sources, extra_toml=""):
+    """A throwaway project root with its own [tool.repro-lint] table."""
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\npaths = ["."]\n' + extra_toml
+    )
+    for name, text in sources.items():
+        (tmp_path / name).write_text(text)
+    return tmp_path
+
+
+def test_repo_lints_clean():
+    assert main(["--root", str(REPO_ROOT)]) == 0
+
+
+def test_violations_exit_1(tmp_path, capsys):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    assert main(["--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "mod.py:5" in out
+    assert "D2" in out
+
+
+def test_json_format(tmp_path, capsys):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    assert main(["--root", str(root), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["files_analyzed"] == 1
+    (violation,) = data["violations"]
+    assert violation["rule"] == "D2"
+    assert violation["path"] == "mod.py"
+
+
+def test_rules_filter_disables_other_rules(tmp_path):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    assert main(["--root", str(root), "--rules", "P2"]) == 0
+    assert main(["--root", str(root), "--rules", "D2"]) == 1
+
+
+def test_unknown_rule_is_usage_error(tmp_path):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    with pytest.raises(SystemExit) as exc:
+        main(["--root", str(root), "--rules", "Z9"])
+    assert exc.value.code == 2
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    assert main(["--root", str(root), "--write-baseline"]) == 0
+    baseline = root / "lint-baseline.json"
+    assert baseline.is_file()
+    # Grandfathered: the same violation no longer fails the gate...
+    assert main(["--root", str(root)]) == 0
+    capsys.readouterr()
+    # ...unless the baseline is explicitly ignored.
+    assert main(["--root", str(root), "--no-baseline"]) == 1
+
+
+def test_stale_baseline_reported(tmp_path, capsys):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    assert main(["--root", str(root), "--write-baseline"]) == 0
+    (root / "mod.py").write_text("def jitter():\n    return 4\n")
+    capsys.readouterr()
+    assert main(["--root", str(root)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D1", "D2", "D3", "D4", "P1", "P2", "P3", "P4"):
+        assert rule_id in out
+
+
+def test_self_check_passes(capsys):
+    assert main(["--root", str(REPO_ROOT), "--self-check"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_explicit_path_argument(tmp_path):
+    root = _project(tmp_path, {"good.py": "x = 1\n", "bad.py": BAD_SOURCE})
+    assert main(["--root", str(root), "good.py"]) == 0
+    assert main(["--root", str(root), "bad.py"]) == 1

@@ -1,0 +1,54 @@
+"""Regression tests for true positives repro-lint found in this repo.
+
+Each fix keeps a test here so the original hazard cannot quietly return
+in a refactor (the lint rule would also catch the literal pattern, but
+only this test pins the *behaviour* the fix must preserve).
+"""
+
+from repro.converse.machine import _unique_by_identity
+
+
+class _Alloc:
+    """Value-equal allocations that must still be counted separately."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __eq__(self, other):
+        return isinstance(other, _Alloc) and self.tag == other.tag
+
+    def __hash__(self):
+        return hash(self.tag)
+
+
+def test_identity_dedup_preserves_first_seen_order():
+    # The old code built {id(obj): obj}.values(): id() values are
+    # allocator-dependent, so nothing guaranteed a stable order if the
+    # dict was ever sorted or re-hashed downstream.  The replacement
+    # must yield first-seen order, always.
+    a, b, c = _Alloc("a"), _Alloc("b"), _Alloc("c")
+    assert _unique_by_identity([c, a, b, a, c, b]) == [c, a, b]
+
+
+def test_shared_instances_collapse_to_one():
+    shared = _Alloc("pool")
+    assert _unique_by_identity([shared, shared, shared]) == [shared]
+
+
+def test_equal_but_distinct_objects_all_kept():
+    # Identity semantics, not equality: two equal allocs from different
+    # processes are distinct allocations and both must be flushed.
+    x, y = _Alloc("same"), _Alloc("same")
+    assert x == y
+    result = _unique_by_identity([x, y])
+    assert len(result) == 2
+    assert result[0] is x and result[1] is y
+
+
+def test_accepts_any_iterable():
+    a, b = _Alloc("a"), _Alloc("b")
+    assert _unique_by_identity(iter((a, b, a))) == [a, b]
+
+
+def test_empty_input():
+    assert _unique_by_identity([]) == []

@@ -1,0 +1,57 @@
+"""Per-rule fixture suite: each rule fires on its bad snippet and stays
+silent on the good one.  This is the guarantee behind `make lint`: a
+rule that silently stops matching fails here, not in production."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_IDS = ["D1", "D2", "D3", "D4", "P1", "P2", "P3", "P4"]
+
+
+def _analyze(path: Path):
+    analyzer = Analyzer(FIXTURES, default_rules(), baseline=None)
+    return analyzer.analyze_file(path).violations
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_fires_on_bad_fixture(rule_id):
+    violations = _analyze(FIXTURES / f"{rule_id.lower()}_bad.py")
+    fired = {v.rule for v in violations}
+    assert rule_id in fired, f"{rule_id} missed its bad fixture (fired: {fired})"
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_silent_on_good_fixture(rule_id):
+    violations = _analyze(FIXTURES / f"{rule_id.lower()}_good.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_is_rule_specific(rule_id):
+    """Bad fixtures demonstrate exactly their own rule family's defect."""
+    violations = _analyze(FIXTURES / f"{rule_id.lower()}_bad.py")
+    assert {v.rule for v in violations} == {rule_id}
+
+
+def test_violation_carries_location_and_fingerprint():
+    (v, *_) = _analyze(FIXTURES / "p2_bad.py")
+    assert v.rule == "P2"
+    assert v.path.endswith("p2_bad.py")
+    assert v.line > 1
+    assert "class Signal" in v.line_text
+    assert v.fingerprint == (v.rule, v.path, v.line_text)
+
+
+def test_d1_allowlist_exempts_harness_paths():
+    """The same wall-clock source is clean under an allowlisted path."""
+    from repro.analysis.config import Config
+
+    rules = default_rules(Config(wallclock_allow=("src/repro/harness",)))
+    d1 = next(r for r in rules if r.id == "D1")
+    assert not d1.applies_to("src/repro/harness/pingpong.py")
+    assert d1.applies_to("src/repro/sim/engine.py")
