@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo bench bench-gate
+.PHONY: tier1 test lint trace-test trace-demo bench bench-gate chaos
 
 tier1: test bench-gate lint  ## full tier-1 flow: tests + benchmark gate + lint
 
@@ -17,6 +17,11 @@ bench-gate:      ## hot-path benchmark gate: writes the next BENCH_NNNN.json at 
                  ## repo root and exits nonzero on >10% events/sec regression or any
                  ## simulated-time checksum drift vs the prior record (EXPERIMENTS.md)
 	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main())"
+
+chaos:           ## chaos suite: pingpong + m2m under seeded fault profiles with
+                 ## the checked DES engine; asserts bit-correct payloads and
+                 ## eventual quiescence on every (profile, seed) cell
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.chaosbench --profiles drop5 chaos --seeds 0 1 2
 
 trace-test:      ## just the tracing-subsystem tests (pytest -m trace)
 	$(PYTHON) -m pytest -q -m trace tests/trace

@@ -30,6 +30,7 @@ __all__ = ["Config", "load_config", "find_root"]
 
 _DEFAULT_PATHS = ("src", "tests")
 _DEFAULT_WALLCLOCK_ALLOW = ("src/repro/harness", "src/repro/trace")
+_DEFAULT_FAULTS_PATHS = ("src/repro/faults",)
 
 
 @dataclass
@@ -42,6 +43,8 @@ class Config:
     rules: Optional[List[str]] = None  # None = every registered rule
     baseline: str = "lint-baseline.json"
     wallclock_allow: Tuple[str, ...] = _DEFAULT_WALLCLOCK_ALLOW
+    #: Paths where F1 (raw RNG forbidden; sim.rng streams only) applies.
+    faults_paths: Tuple[str, ...] = _DEFAULT_FAULTS_PATHS
 
     @property
     def baseline_path(self) -> Path:
@@ -77,4 +80,6 @@ def load_config(root: Optional[Path] = None) -> Config:
         cfg.baseline = str(table["baseline"])
     if "wallclock-allow" in table:
         cfg.wallclock_allow = tuple(table["wallclock-allow"])
+    if "faults-paths" in table:
+        cfg.faults_paths = tuple(table["faults-paths"])
     return cfg

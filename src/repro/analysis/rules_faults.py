@@ -1,0 +1,99 @@
+"""Fault-subsystem rules (F1).
+
+The fault injector's whole value is that a ``(plan.seed, workload)``
+pair reproduces a bit-identical fault schedule — that is what lets a
+chaos-matrix failure be replayed and bisected.  Any draw inside
+``src/repro/faults/`` that does not come from the named
+:class:`~repro.sim.rng.StreamRegistry` streams breaks that contract,
+*even when seeded*: a privately seeded ``random.Random(42)`` does not
+derive from the plan's root seed and is invisible to stream isolation
+(adding a draw perturbs nothing else only because StreamRegistry gives
+every consumer its own spawned stream).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, dotted_name, register
+
+__all__ = ["FaultsSeededStreamRule"]
+
+
+@register
+class FaultsSeededStreamRule(Rule):
+    """F1: raw RNG use inside the fault-injection subsystem."""
+
+    id = "F1"
+    title = "raw RNG in src/repro/faults (use sim.rng streams)"
+    severity = "error"
+    rationale = (
+        "Fault schedules must be a pure function of FaultPlan.seed so a "
+        "chaos failure replays exactly.  All randomness in "
+        "src/repro/faults must flow through sim.rng.StreamRegistry named "
+        "streams; stdlib random and numpy.random entry points — seeded or "
+        "not — bypass the plan's seed derivation and the per-stream "
+        "isolation the determinism regime depends on."
+    )
+    node_types = ("Import", "ImportFrom", "Call")
+
+    def applies_to(self, rel_path: str) -> bool:
+        paths = (
+            self.config.faults_paths
+            if self.config is not None
+            else ("src/repro/faults",)
+        )
+        return any(
+            rel_path == p or rel_path.startswith(p.rstrip("/") + "/") for p in paths
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random" or alias.name.startswith("numpy.random"):
+                    ctx.report(
+                        node,
+                        self,
+                        f"import of {alias.name} in the faults subsystem — "
+                        "draw from sim.rng StreamRegistry streams",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "random" or mod.startswith("random.") or "numpy.random" in mod:
+                ctx.report(
+                    node,
+                    self,
+                    f"from {mod} import ... in the faults subsystem — "
+                    "draw from sim.rng StreamRegistry streams",
+                )
+            return
+        # Calls: random.*, np.random.*, and bare generator constructors.
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            ctx.report(
+                node,
+                self,
+                f"{name}() in the faults subsystem — even a seeded "
+                "random.Random bypasses the plan's stream derivation",
+            )
+            return
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            ctx.report(
+                node,
+                self,
+                f"{name}() in the faults subsystem — use StreamRegistry "
+                "streams derived from FaultPlan.seed",
+            )
+            return
+        if parts[-1] in ("default_rng", "SeedSequence", "Random", "RandomState"):
+            ctx.report(
+                node,
+                self,
+                f"{parts[-1]}() constructed directly in the faults "
+                "subsystem — only StreamRegistry may build generators",
+            )

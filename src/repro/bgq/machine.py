@@ -46,6 +46,13 @@ class BGQMachine:
             node.mu.network = self.network
             self.nodes.append(node)
 
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`~repro.faults.injector.FaultInjector` at
+        every choke point (network links + each node's reception FIFOs)."""
+        self.network.fault = injector
+        for node in self.nodes:
+            node.mu.fault = injector
+
     def _deliver(self, packet: Packet) -> None:
         self.nodes[packet.dst].mu.receive_packet(packet)
 

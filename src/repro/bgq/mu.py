@@ -46,6 +46,7 @@ class Descriptor:
         "injected",
         "delivered",
         "data_ififo",
+        "corrupted",
     )
 
     def __init__(
@@ -71,6 +72,9 @@ class Descriptor:
         self.delivered: Event = env.event()
         #: For rget: which remote injection FIFO streams the data back.
         self.data_ififo: int = 0
+        #: Set by the fault injector when a fragment is lost or damaged;
+        #: the receive-side reliability gate discards such messages.
+        self.corrupted: bool = False
 
 
 class InjectionFifo:
@@ -200,6 +204,9 @@ class MessagingUnit:
         #: statistic (always counted); the Converse runtime snapshots it
         #: into the tracer's ``mu.packets_received`` counter.
         self.packets_received = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: None the reception-FIFO fault hook is one attribute test.
+        self.fault = None
 
     # -- aggregate statistics ----------------------------------------------
     @property
@@ -274,6 +281,13 @@ class MessagingUnit:
                     f"node {self.node_id}: packet for unallocated reception "
                     f"FIFO {fifo_id}"
                 )
+            fault = self.fault
+            if fault is not None:
+                action = fault.on_reception(self.node_id, fifo_id, packet)
+                if action == "drop":
+                    return
+                if action == "dup":
+                    self._reception[fifo_id].push(packet)
             self._reception[fifo_id].push(packet)
         elif packet.kind == RGET_REQUEST:
             # Remote-read request: stream the data back, no software.

@@ -84,6 +84,10 @@ class TorusNetwork:
         self._link_free: Dict[Tuple[int, int], float] = {}
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: None (the default) the fault hook below is a single attribute
+        #: test and the trajectory is identical to a fault-free build.
+        self.fault = None
 
     def _dim_order(self) -> Optional[list]:
         if self.routing == "deterministic":
@@ -126,6 +130,8 @@ class TorusNetwork:
             return done
 
         route = self.torus.route(packet.src, packet.dst, dim_order=self._dim_order())
+        fault = self.fault
+        action = fault.on_route(packet, route) if fault is not None else None
         ser = self._serialization(packet)
         p = self.params
         # Cut-through reservation: the head advances one hop_latency per
@@ -142,6 +148,25 @@ class TorusNetwork:
             self._link_free[link] = start + ser
             t_head = start + p.hop_latency
         arrival = t_head + ser
+
+        if action is not None:
+            if action.drop:
+                # Lost in flight: links were still occupied up to the
+                # loss point (we conservatively charge the full route),
+                # but the packet never arrives and ``done`` never fires.
+                return done
+            arrival += action.extra_delay
+            if action.dup_gap is not None:
+                dup_at = arrival + action.dup_gap
+
+                def fly_dup():
+                    yield env.timeout(dup_at - env.now)
+                    if self.deliver is not None:
+                        self.deliver(packet)
+
+                env.process(
+                    fly_dup(), name=f"pkt-dup-{packet.src}->{packet.dst}"
+                )
 
         def fly():
             yield env.timeout(arrival - env.now)

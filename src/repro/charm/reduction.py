@@ -108,21 +108,27 @@ class ReductionManager:
         if st.sent or st.local_count < expected_local or st.children_received < n_children:
             return
         st.sent = True
-        op = self._ops[key]
         if parent is None:
             yield from self._deliver(array, pe, key, st.value)
         else:
-            payload = (array.name, key[1], st.value)
+            # The op rides in the payload: a child's partial can reach
+            # the parent PE before any local contribute() has registered
+            # the op there (message race — see _partial_handler).
+            payload = (array.name, key[1], st.value, self._ops[key])
             yield from self.charm.runtime.send(
                 pe, parent, self._partial_hid, _PARTIAL_BYTES, payload
             )
 
     def _partial_handler(self, pe, msg):
-        array_name, tag, value = msg.payload
+        array_name, tag, value, op = msg.payload
         array = self.charm.arrays[array_name]
         key = (array_name, tag)
+        # A partial may be the first event for this key on this PE (the
+        # local elements haven't contributed yet): learn the op from the
+        # message instead of requiring local registration first.
+        self._ops.setdefault(key, op)
         st = self._states.setdefault(key, {}).setdefault(pe.rank, _State())
-        st.merge(REDUCERS[self._ops[key]], value)
+        st.merge(REDUCERS[op], value)
         st.children_received += 1
         yield from self._maybe_forward(array, pe, key)
 

@@ -35,6 +35,7 @@ from ..bgq.machine import BGQMachine
 from ..bgq.node import HWThread, Node
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
 from ..bgq.wakeup import WakeupSource
+from ..faults import FAULT_TRACK, FaultInjector, FaultPlan
 from ..pami.commthread import CommThread
 from ..pami.context import AMPayload, Endpoint, PamiClient, PamiContext
 from ..pami.manytomany import ManyToManyRegistry
@@ -94,6 +95,13 @@ class RunConfig:
     #: Enable the Projections-style tracer (spans + named counters +
     #: exporters, see repro.trace).  ``record_timeline`` implies it.
     trace: bool = False
+    #: Fault-injection plan (repro.faults).  None falls back to the
+    #: ``REPRO_FAULTS`` environment switch; a null plan means no faults.
+    fault_plan: Optional[FaultPlan] = None
+    #: Sequence-numbered ACK/retransmit transport on every PAMI context.
+    #: None = auto: enabled exactly when a fault plan is active, so the
+    #: fault-free fast path stays trajectory-identical to older builds.
+    reliable: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.queue_kind not in ("l2", "mutex"):
@@ -258,6 +266,10 @@ class ConverseRuntime:
         self.intraprocess_sends = 0
         self.eager_sends = 0
         self.rendezvous_sends = 0
+        #: Quiescence-detector protocol accounting (repro.faults PR):
+        #: rounds run and reduction messages charged (see quiescence.py).
+        self.qd_rounds = 0
+        self.qd_protocol_msgs = 0
         self.stopped = False
         self.stop_wakeup = WakeupSource(env, name="runtime-stop", params=params)
         #: The Projections-style tracer (repro.trace): spans + counters.
@@ -268,6 +280,17 @@ class ConverseRuntime:
             if (config.record_timeline or config.trace)
             else None
         )
+
+        # Fault injection (repro.faults): an explicit plan wins; with
+        # none configured the REPRO_FAULTS env switch applies.  A null
+        # plan installs nothing — the hardware hooks stay `None` and the
+        # trajectory is bench-gate-identical to a build without faults.
+        plan = config.fault_plan if config.fault_plan is not None else FaultPlan.from_env()
+        self.fault_plan = plan
+        self.fault_injector: Optional[FaultInjector] = None
+        if plan is not None and not plan.is_null:
+            self.fault_injector = FaultInjector(env, plan)
+            self.machine.attach_faults(self.fault_injector)
 
         # Build processes and PEs.  Threads of a node are split evenly
         # between its processes.
@@ -286,6 +309,21 @@ class ConverseRuntime:
                     proc.pes.append(pe)
                     self.pes.append(pe)
                     rank += 1
+
+        # Reliability: auto-on exactly when faults are injected (an
+        # unreliable network needs the ACK/retransmit transport for the
+        # runtime's delivery guarantees to hold), overridable for tests.
+        reliable = (
+            config.reliable
+            if config.reliable is not None
+            else self.fault_injector is not None
+        )
+        if reliable:
+            policy = (plan or FaultPlan()).retry_policy()
+            for proc in self.processes:
+                for ctx in proc.client.contexts:
+                    ctx.enable_reliability(policy)
+
         if self.tracer is not None:
             self._wire_tracer()
 
@@ -318,6 +356,14 @@ class ConverseRuntime:
                 ct_track += 1
         for pe in self.pes:
             tracer.register_track(pe.rank, f"pe{pe.rank}")
+        inj = self.fault_injector
+        if inj is not None:
+            tracer.register_track(FAULT_TRACK, "faults")
+            inj.tracer = tracer
+            for proc in self.processes:
+                for ctx in proc.client.contexts:
+                    if ctx.reliability is not None:
+                        ctx.reliability.tracer = tracer
         tracer.add_finalizer(self._flush_stats)
 
     def _flush_stats(self) -> None:
@@ -394,6 +440,21 @@ class ConverseRuntime:
         cts = [ct for proc in self.processes for ct in proc.comm_threads]
         put_tracks("commthread.items", [(ct.track, ct.items_processed) for ct in cts])
         put_tracks("commthread.wakeups", [(ct.track, ct.wakeup_count) for ct in cts])
+        inj = self.fault_injector
+        if inj is not None:
+            for name, value in sorted(inj.stats.as_dict().items()):
+                put(f"faults.{name}", value)
+        rels = [c.reliability for c in contexts if c.reliability is not None]
+        if rels:
+            put("rel.retries", sum(r.retries for r in rels))
+            put("rel.gave_up", sum(r.gave_up for r in rels))
+            put("rel.dup_suppressed", sum(r.dup_suppressed for r in rels))
+            put("rel.reordered_accepted", sum(r.reordered_accepted for r in rels))
+            put("rel.acks_sent", sum(r.acks_sent for r in rels))
+            put("rel.corrupt_dropped", sum(r.corrupt_dropped for r in rels))
+            put("rel.in_flight_at_finish", sum(r.in_flight for r in rels))
+        put("qd.rounds", self.qd_rounds)
+        put("qd.protocol_msgs", self.qd_protocol_msgs)
 
     # -- handler registry ------------------------------------------------------
     def register_handler(self, fn: Callable, category: str = "sched") -> int:

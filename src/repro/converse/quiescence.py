@@ -8,13 +8,26 @@ declares quiescence after two consecutive rounds with equal, unchanged
 totals (two rounds close the race with in-flight messages).
 
 Our implementation piggybacks on the simulation: a detector process
-samples the runtime's global counters; the *protocol cost* of the
-reduction rounds is charged as messages so quiescence detection has a
-realistic price, as in the real system.
+samples the runtime's global counters, and each sampling round is
+*charged* — in simulated time and in message counts — as the
+spanning-tree reduction + broadcast it stands for: ``2 * (P - 1)``
+protocol messages per round and a latency of two tree traversals
+(send + wire + receive per level, ``ceil(log2 P)`` levels).  The
+charges are mirrored into ``runtime.qd_rounds`` /
+``runtime.qd_protocol_msgs`` and surface as the ``qd.*`` trace
+counters.  A single-PE runtime needs no reduction, so its rounds stay
+free — detection on an idle 1-PE system remains effectively immediate.
+
+The in-flight test also counts packets held by the reliability layer
+(:mod:`repro.faults`): a message awaiting ACK/retransmit is invisible
+to every FIFO/queue but is *not* yet processed, and ignoring it lets
+the detector declare quiescence while a retransmit is still pending —
+the message race this PR's regression test pins down.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from ..bgq.params import CYCLES_PER_US
@@ -31,7 +44,18 @@ class QuiescenceDetector:
         self.env: Environment = runtime.env
         self.poll_interval = poll_interval_us * CYCLES_PER_US
         self.rounds = 0
+        self.protocol_msgs = 0
         self._armed: Optional[Event] = None
+        # Protocol cost of one reduction+broadcast round over P PEs:
+        # every non-root contributes up the spanning tree and receives
+        # the broadcast back down it.
+        p = runtime.params
+        npes = len(runtime.pes)
+        self.msgs_per_round = 2 * (npes - 1) if npes > 1 else 0
+        depth = math.ceil(math.log2(npes)) if npes > 1 else 0
+        self.round_cost = 2.0 * depth * (
+            p.converse_send_instr + p.nic_latency + p.converse_recv_instr
+        )
 
     # -- counters ------------------------------------------------------------
     def _totals(self) -> tuple:
@@ -44,12 +68,19 @@ class QuiescenceDetector:
         for pe in rt.pes:
             processed += pe.messages_executed
         # In-flight state: MU injection queues, reception FIFOs, posted
-        # work, and messages parked in each PE's scheduler structures.
+        # work, messages parked in each PE's scheduler structures, and
+        # stamped sends the reliability transport has not yet seen ACKed
+        # (a retransmit-pending message is in flight even when no FIFO
+        # holds a packet for it).
         pending = 0
         for proc in rt.processes:
             for ctx in proc.contexts:
                 pending += len(ctx.rfifo) + len(ctx.work) + len(ctx.completions)
                 pending += len(ctx.ififo)
+            for ctx in proc.client.contexts:
+                rel = ctx.reliability
+                if rel is not None:
+                    pending += rel.in_flight
         for pe in rt.pes:
             pending += len(pe.queue) + len(pe.local_q) + len(pe._heap)
         return created, processed, pending
@@ -65,11 +96,18 @@ class QuiescenceDetector:
 
     def _detect(self, done: Event):
         env = self.env
+        rt = self.runtime
         prev = None
         stable = 0
         while True:
-            yield env.timeout(self.poll_interval)
+            # One detection round = poll interval + the latency of the
+            # counter reduction/broadcast it models; the tree messages
+            # are charged to the runtime's protocol ledger.
+            yield env.timeout(self.poll_interval + self.round_cost)
             self.rounds += 1
+            self.protocol_msgs += self.msgs_per_round
+            rt.qd_rounds += 1
+            rt.qd_protocol_msgs += self.msgs_per_round
             totals = self._totals()
             created, processed, pending = totals
             if pending == 0 and processed >= created and prev == totals:

@@ -1,0 +1,41 @@
+"""Deterministic fault injection & recovery for the simulated BG/Q network.
+
+The paper's runtime optimizations assume a lossless torus; this package
+relaxes that assumption so the reproduction can study best-effort
+behaviour (see PAPERS.md: "Best-Effort Communication Improves
+Performance and Scales Robustly on Conventional Hardware") and measure
+the retry/timeout overheads Task Bench-style studies quantify.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, named fault
+  profiles (drop / duplicate / delay / reorder / corrupt rates per link
+  and per MU reception FIFO, plus scheduled link-down windows) and the
+  :class:`RetryPolicy` the recovery layer uses.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: draws from
+  named :class:`~repro.sim.rng.StreamRegistry` streams at the
+  ``bgq/network.py`` and ``bgq/mu.py`` choke points.
+* :mod:`repro.faults.recovery` — :class:`ReliableTransport`: sequence-
+  numbered sends with ACK/timeout/exponential-backoff retransmit,
+  duplicate suppression, and graceful-degradation counters, hooked into
+  ``pami/context.py``.
+
+With no plan installed every hook is a single ``is None`` attribute
+test on the hot path — the fault-free trajectory is cycle-for-cycle
+identical to a build without this package (bench-gate enforced).
+"""
+
+from .injector import FAULT_TRACK, FaultInjector, FaultStats
+from .plan import FaultPlan, FaultRates, LinkDownWindow, PROFILES
+from .recovery import RELIABLE_ACK_DISPATCH, ReliableTransport, RetryPolicy
+
+__all__ = [
+    "FAULT_TRACK",
+    "FaultInjector",
+    "FaultStats",
+    "FaultPlan",
+    "FaultRates",
+    "LinkDownWindow",
+    "PROFILES",
+    "RELIABLE_ACK_DISPATCH",
+    "ReliableTransport",
+    "RetryPolicy",
+]

@@ -1,0 +1,209 @@
+"""Recovery: sequence-numbered sends, ACKs, retransmit, dedup.
+
+One :class:`ReliableTransport` attaches to one
+:class:`~repro.pami.context.PamiContext` (the runtime enables it on
+every context whenever a fault plan is installed).  Every memory-FIFO
+active message the context posts — eager data, RTS/ACK control, and
+many-to-many traffic all funnel through ``PamiContext._post`` — is
+stamped with a per-destination-endpoint sequence number and held in
+``pending`` until the receiver's ACK arrives; an exponential-backoff
+timer reposts a fresh descriptor on timeout and gives up (counting
+``gave_up``) after ``max_retries``.
+
+Receive side, gated in ``PamiContext.advance`` before dispatch:
+
+* messages whose descriptor was marked ``corrupted`` by the injector
+  are discarded un-ACKed (the retransmit recovers);
+* duplicates — already-seen sequence numbers — are suppressed but
+  re-ACKed, because a suppressed duplicate usually means the first ACK
+  was lost;
+* out-of-order arrivals are *accepted* (active messages commute in
+  this runtime; ordering is the application's concern) but counted as
+  ``reordered_accepted``.
+
+ACK packets themselves travel unreliably (no ACK-of-ACK): a lost ACK
+costs one retransmit plus one duplicate suppression, nothing more.
+
+Protocol cost model: ACK transmission is charged to the receiving
+thread like any ``PAMI_Send_immediate``; retransmits are timer-driven
+reposts with no thread charge (modelling an MU-resident retry engine —
+a deliberate simplification, see docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .injector import FAULT_TRACK
+from .plan import RetryPolicy
+
+__all__ = ["RELIABLE_ACK_DISPATCH", "ACK_BYTES", "ReliableTransport", "RetryPolicy"]
+
+#: Dispatch id reserved for transport ACKs (below M2M's 0x7F; the
+#: reliability gate consumes these before user dispatch ever runs).
+RELIABLE_ACK_DISPATCH = 0x7E
+
+#: Wire size of an ACK: (endpoint, seq) fits one small packet.
+ACK_BYTES = 16
+
+
+class _SendRecord:
+    """One un-ACKed stamped send."""
+
+    __slots__ = ("payload", "dest", "acked")
+
+    def __init__(self, payload, dest) -> None:
+        self.payload = payload
+        self.dest = dest
+        self.acked = False
+
+
+class _RecvFlow:
+    """Receive-side dedup state for one source endpoint."""
+
+    __slots__ = ("next_expected", "early")
+
+    def __init__(self) -> None:
+        self.next_expected = 0
+        #: Sequence numbers accepted ahead of ``next_expected``.
+        self.early: Set[int] = set()
+
+    def is_dup(self, seq: int) -> bool:
+        return seq < self.next_expected or seq in self.early
+
+    def accept(self, seq: int) -> bool:
+        """Record ``seq`` as delivered; True if it arrived in order."""
+        if seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self.early:
+                self.early.discard(self.next_expected)
+                self.next_expected += 1
+            return True
+        self.early.add(seq)
+        return False
+
+
+class ReliableTransport:
+    """Per-context reliability: stamp, ACK, retransmit, dedup."""
+
+    def __init__(self, ctx, policy: RetryPolicy, tracer=None) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.tracer = tracer
+        #: Un-ACKed sends, keyed by ``(dest_endpoint, seq)``.  The
+        #: quiescence detector counts these as in-flight messages.
+        self.pending: Dict[Tuple[Tuple[int, int], int], _SendRecord] = {}
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+        self._flows: Dict[Tuple[int, int], _RecvFlow] = {}
+        # Graceful-degradation counters (snapshotted into ``rel.*``).
+        self.retries = 0
+        self.gave_up = 0
+        self.dup_suppressed = 0
+        self.reordered_accepted = 0
+        self.acks_sent = 0
+        self.corrupt_dropped = 0
+
+    def _mark(self, name: str) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.mark(FAULT_TRACK, name)
+
+    @property
+    def in_flight(self) -> int:
+        """Stamped sends not yet ACKed (nor given up on)."""
+        return len(self.pending)
+
+    # -- send side ---------------------------------------------------------
+    def stamp(self, payload, dest) -> None:
+        """Assign a sequence number and arm the retransmit timer."""
+        key = (dest[0], dest[1])
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        payload.seq = seq
+        rec = _SendRecord(payload, dest)
+        self.pending[(key, seq)] = rec
+        env = self.ctx.env
+        env.process(
+            self._retransmit(key, seq, rec),
+            name=f"rel-retx-{key[0]}.{key[1]}-{seq}",
+        )
+
+    def _retransmit(self, key, seq, rec):
+        env = self.ctx.env
+        policy = self.policy
+        timeout = policy.timeout_cycles
+        attempts = 0
+        while True:
+            yield env.timeout(timeout)
+            if rec.acked:
+                return
+            if attempts >= policy.max_retries:
+                # Graceful degradation: stop resending and stop counting
+                # this send as in-flight (or quiescence would never be
+                # declared on a partitioned network).
+                self.gave_up += 1
+                self.pending.pop((key, seq), None)
+                self._mark("rel.gave_up")
+                return
+            attempts += 1
+            self.retries += 1
+            self._mark("rel.retry")
+            self.ctx._repost(rec.dest, rec.payload)
+            timeout *= policy.backoff
+
+    # -- receive side (gated in PamiContext.advance) -----------------------
+    def on_receive(self, thread, payload, desc):
+        """Generator; returns True when the message should dispatch."""
+        if getattr(desc, "corrupted", False):
+            # Damaged in flight (corrupt fault, or a lost fragment of a
+            # multi-packet message): discard without ACK; the sender's
+            # retransmit carries a clean copy.
+            self.corrupt_dropped += 1
+            self._mark("rel.corrupt_dropped")
+            return False
+        if payload.dispatch_id == RELIABLE_ACK_DISPATCH:
+            acker, seq = payload.data
+            rec = self.pending.pop(((acker[0], acker[1]), seq), None)
+            if rec is not None:
+                rec.acked = True
+            return False  # transport-internal; never dispatched
+        if payload.seq is None:
+            return True  # unstamped sender (no reliability there)
+        src = (payload.src_endpoint[0], payload.src_endpoint[1])
+        flow = self._flows.get(src)
+        if flow is None:
+            flow = _RecvFlow()
+            self._flows[src] = flow
+        if flow.is_dup(payload.seq):
+            # Our ACK was probably lost: suppress, but ACK again.
+            self.dup_suppressed += 1
+            self._mark("rel.dup_suppressed")
+            yield from self._send_ack(thread, payload)
+            return False
+        in_order = flow.accept(payload.seq)
+        if not in_order:
+            self.reordered_accepted += 1
+            self._mark("rel.reordered_accepted")
+        yield from self._send_ack(thread, payload)
+        return True
+
+    def _send_ack(self, thread, payload):
+        self.acks_sent += 1
+        ctx = self.ctx
+        yield from thread.compute(ctx.params.pami_send_imm_instr)
+        ctx._post(
+            payload.src_endpoint,
+            RELIABLE_ACK_DISPATCH,
+            ACK_BYTES,
+            (ctx.endpoint, payload.seq),
+        )
+
+    def stats_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "dup_suppressed": self.dup_suppressed,
+            "reordered_accepted": self.reordered_accepted,
+            "acks_sent": self.acks_sent,
+            "corrupt_dropped": self.corrupt_dropped,
+        }

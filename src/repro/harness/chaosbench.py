@@ -1,0 +1,271 @@
+"""Chaos fuzz harness: workloads under seeded fault injection.
+
+Runs the stock DES workloads — Converse ping-pong and a PAMI
+many-to-many burst pattern (the communication shape behind Fig. 3's
+FFT transposes) — on a torus that drops, duplicates, delays, reorders
+and corrupts packets per a named :class:`~repro.faults.plan.FaultPlan`
+profile, and asserts the two properties the recovery layer owes the
+runtime:
+
+* **payload correctness** — every application-level message arrives
+  exactly once, bit-identical to what was sent (checked by comparing
+  full sent/received payload multisets);
+* **eventual quiescence** — the quiescence detector fires within a
+  generous horizon, i.e. the transport drains every retransmit.
+
+The matrix is ``profiles x seeds x workloads``; one failure fails the
+run.  Used by ``make chaos`` (CI runs a small matrix under
+``REPRO_SANITIZE=1``) and directly::
+
+    python -m repro.harness.chaosbench --profiles drop5 chaos --seeds 0 1 2
+
+Determinism: a (profile, seed, workload) triple is a bit-exact
+trajectory; failures reproduce by rerunning the same triple.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from ..converse.machine import ConverseRuntime, RunConfig
+from ..converse.messages import ConverseMessage
+from ..converse.quiescence import QuiescenceDetector
+from ..faults import FaultPlan
+from ..sim import Environment
+
+__all__ = ["run_pingpong_chaos", "run_m2m_chaos", "run_matrix", "main"]
+
+#: Give-up horizon (cycles): covers a full exponential-backoff ladder
+#: (25 us base x 2^12) plus the workload itself.
+HORIZON_CYCLES = 600_000_000.0
+
+#: Chaos quiescence polling is coarse (the workloads are long).
+QD_POLL_US = 20.0
+
+
+def _finish(env, rt, qd, quiesced, workload, plan) -> Dict[str, object]:
+    """Drive the run to quiescence (bounded) and collect the verdict."""
+    horizon = env.timeout(HORIZON_CYCLES)
+    env.run(until=env.any_of([quiesced, horizon]))
+    rt.stop()
+    rels = [c.reliability for p in rt.processes for c in p.client.contexts]
+    rels = [r for r in rels if r is not None]
+    return {
+        "workload": workload,
+        "profile": plan.name,
+        "seed": plan.seed,
+        "quiesced": quiesced.triggered,
+        "sim_time": env.now,
+        "qd_rounds": qd.rounds,
+        "qd_protocol_msgs": qd.protocol_msgs,
+        "faults": rt.fault_injector.stats.as_dict() if rt.fault_injector else {},
+        "retries": sum(r.retries for r in rels),
+        "gave_up": sum(r.gave_up for r in rels),
+        "dup_suppressed": sum(r.dup_suppressed for r in rels),
+        "reordered_accepted": sum(r.reordered_accepted for r in rels),
+        "corrupt_dropped": sum(r.corrupt_dropped for r in rels),
+        "in_flight_left": sum(r.in_flight for r in rels),
+    }
+
+
+def run_pingpong_chaos(
+    profile: str,
+    seed: int,
+    trips: int = 20,
+    nbytes: int = 64,
+) -> Dict[str, object]:
+    """Converse ping-pong across two nodes under a fault profile.
+
+    Each trip carries a payload derived from the trip index; the echo
+    must return every payload in order (the Converse level sees
+    exactly-once in-order trips because each trip waits for the prior
+    echo).  Raises AssertionError on any corruption or lost trip.
+    """
+    plan = FaultPlan.profile(profile, seed=seed)
+    env = Environment()
+    cfg = RunConfig(nnodes=2, workers_per_process=2, fault_plan=plan)
+    rt = ConverseRuntime(env, cfg)
+    dst_rank = cfg.pes_per_node  # first PE of node 1
+    echoes: List[object] = []
+    done = env.event()
+
+    def expected_payload(trip: int):
+        return ("pingpong", trip, bytes([trip % 251, (trip * 7) % 251]))
+
+    def pong(pe, msg):
+        yield from pe.send(0, hid_ping, nbytes, msg.payload)
+
+    def ping(pe, msg):
+        if msg.payload is not None:
+            echoes.append(msg.payload)
+        trip = len(echoes)
+        if trip >= trips:
+            if not done.triggered:
+                done.succeed()
+            return
+        yield from pe.send(dst_rank, hid_pong, nbytes, expected_payload(trip))
+
+    hid_pong = rt.register_handler(pong)
+    hid_ping = rt.register_handler(ping)
+    rt.pes[0].local_q.append(ConverseMessage(hid_ping, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=QD_POLL_US)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([done, env.timeout(HORIZON_CYCLES)]))
+    result = _finish(env, rt, qd, quiesced, "pingpong", plan)
+    want = [expected_payload(i) for i in range(trips)]
+    result["payload_ok"] = done.triggered and echoes == want
+    result["ok"] = bool(result["payload_ok"] and result["quiesced"])
+    return result
+
+
+def run_m2m_chaos(
+    profile: str,
+    seed: int,
+    rounds: int = 3,
+    fanout: int = 12,
+    nbytes: int = 96,
+) -> Dict[str, object]:
+    """Fig. 3-style many-to-many bursts under a fault profile.
+
+    Two SMP processes (one per node, each with a communication thread)
+    exchange ``fanout`` short messages per round through the persistent
+    ManyToMany interface — traffic that bypasses the Converse send
+    counters entirely, which is exactly the path where a quiescence
+    detector ignoring retransmit-pending packets declares victory too
+    early.  One handle per (process, round) keeps rounds race-free; the
+    transport's dedup makes per-round arrival counting exact.
+    """
+    plan = FaultPlan.profile(profile, seed=seed)
+    env = Environment()
+    cfg = RunConfig(
+        nnodes=2,
+        workers_per_process=2,
+        comm_threads_per_process=1,
+        fault_plan=plan,
+    )
+    rt = ConverseRuntime(env, cfg)
+    procs = rt.processes
+    received: Dict[int, List[object]] = {0: [], 1: []}
+
+    def payload_for(src_proc: int, rnd: int, i: int):
+        return ("m2m", src_proc, rnd, i, bytes([(src_proc + rnd + i) % 251]))
+
+    handles = {}
+    for pi, proc in enumerate(procs):
+        peer = procs[1 - pi]
+        peer_eps = [c.endpoint for c in peer.contexts]
+        for rnd in range(rounds):
+            sends = [
+                (peer_eps[i % len(peer_eps)], nbytes, payload_for(pi, rnd, i), rnd)
+                for i in range(fanout)
+            ]
+            handles[(pi, rnd)] = proc.m2m.register(rnd, sends, expected_recvs=fanout)
+
+    def make_sink(pi: int):
+        def sink(src_endpoint, data):
+            received[pi].append(data)
+
+        return sink
+
+    for pi in range(2):
+        for rnd in range(rounds):
+            handles[(pi, rnd)].on_message = make_sink(pi)
+
+    finished = {"n": 0}
+    all_done = env.event()
+
+    def kick(pe, msg):
+        proc = pe.process
+        pi = procs.index(proc)
+        for rnd in range(rounds):
+            h = handles[(pi, rnd)]
+            yield from proc.m2m.start(pe.thread, h)
+            yield h.send_done
+            yield h.recv_done
+        finished["n"] += 1
+        if finished["n"] == 2 and not all_done.triggered:
+            all_done.succeed()
+
+    hid_kick = rt.register_handler(kick)
+    for pe_rank in (0, cfg.pes_per_node):
+        rt.pes[pe_rank].local_q.append(
+            ConverseMessage(hid_kick, 0, None, pe_rank, pe_rank)
+        )
+    qd = QuiescenceDetector(rt, poll_interval_us=QD_POLL_US)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([all_done, env.timeout(HORIZON_CYCLES)]))
+    result = _finish(env, rt, qd, quiesced, "m2m", plan)
+    ok = all_done.triggered
+    for pi in range(2):
+        want = sorted(
+            payload_for(1 - pi, rnd, i) for rnd in range(rounds) for i in range(fanout)
+        )
+        ok = ok and sorted(received[pi]) == want
+    result["payload_ok"] = ok
+    result["ok"] = bool(ok and result["quiesced"])
+    return result
+
+
+_WORKLOADS = {
+    "pingpong": run_pingpong_chaos,
+    "m2m": run_m2m_chaos,
+}
+
+
+def run_matrix(
+    profiles: List[str],
+    seeds: List[int],
+    workloads: List[str],
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """Run the full chaos matrix; returns one result dict per cell."""
+    results = []
+    for profile in profiles:
+        for seed in seeds:
+            for workload in workloads:
+                fn = _WORKLOADS[workload]
+                results.append(fn(profile, seed, **kwargs.get(workload, {})))
+    return results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--profiles", nargs="+", default=["drop5"],
+        help="fault profile names (repro.faults.plan.PROFILES)",
+    )
+    ap.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
+    ap.add_argument(
+        "--workloads", nargs="+", default=["pingpong", "m2m"],
+        choices=sorted(_WORKLOADS),
+    )
+    ap.add_argument("--trips", type=int, default=20, help="ping-pong trips")
+    ap.add_argument("--rounds", type=int, default=3, help="m2m rounds")
+    args = ap.parse_args(argv)
+
+    kwargs = {"pingpong": {"trips": args.trips}, "m2m": {"rounds": args.rounds}}
+    results = run_matrix(args.profiles, args.seeds, args.workloads, **kwargs)
+    failures = 0
+    for r in results:
+        status = "ok" if r["ok"] else "FAIL"
+        if not r["ok"]:
+            failures += 1
+        faults = r["faults"]
+        injected = sum(faults.values()) if faults else 0
+        print(
+            f"[{status}] {r['workload']:<8} profile={r['profile']:<9} "
+            f"seed={r['seed']} faults={injected} retries={r['retries']} "
+            f"dup_suppressed={r['dup_suppressed']} "
+            f"reordered={r['reordered_accepted']} gave_up={r['gave_up']} "
+            f"quiesced={r['quiesced']} sim_cycles={r['sim_time']:.0f}"
+        )
+    total = len(results)
+    print(f"chaos: {total - failures}/{total} cells passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from ..bgq.mu import Descriptor
 from ..bgq.network import MEMFIFO
 from ..bgq.node import HWThread, Node
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..faults.recovery import RELIABLE_ACK_DISPATCH as _RELIABLE_ACK_DISPATCH
 from ..queues import L2AtomicQueue
 from ..sim import Environment
 
@@ -42,13 +43,16 @@ _PER_PACKET_INSTR = 70.0
 class AMPayload:
     """What travels inside a descriptor for an active-message send."""
 
-    __slots__ = ("dispatch_id", "data", "nbytes", "src_endpoint")
+    __slots__ = ("dispatch_id", "data", "nbytes", "src_endpoint", "seq")
 
     def __init__(self, dispatch_id: int, data: Any, nbytes: int, src_endpoint: Endpoint):
         self.dispatch_id = dispatch_id
         self.data = data
         self.nbytes = nbytes
         self.src_endpoint = src_endpoint
+        #: Per-(source context, destination endpoint) sequence number,
+        #: stamped by the reliability layer; None on unstamped sends.
+        self.seq: Optional[int] = None
 
 
 class PamiContext:
@@ -85,6 +89,19 @@ class PamiContext:
         self.completions_posted = 0
         self.rgets = 0
         self.rputs = 0
+        #: Optional :class:`~repro.faults.recovery.ReliableTransport`.
+        #: When None (the default) the send-stamp and receive-gate hooks
+        #: are single ``is None`` tests — trajectory neutral.
+        self.reliability = None
+
+    def enable_reliability(self, policy=None, tracer=None):
+        """Attach a :class:`~repro.faults.recovery.ReliableTransport`."""
+        from ..faults.recovery import ReliableTransport, RetryPolicy
+
+        self.reliability = ReliableTransport(
+            self, policy if policy is not None else RetryPolicy(), tracer=tracer
+        )
+        return self.reliability
 
     # -- identity ------------------------------------------------------------
     @property
@@ -142,6 +159,11 @@ class PamiContext:
     def _post(self, dest: Endpoint, dispatch_id: int, nbytes: int, data: Any) -> Descriptor:
         dst_node, dst_fifo = dest
         payload = AMPayload(dispatch_id, data, nbytes, self.endpoint)
+        rel = self.reliability
+        if rel is not None and dispatch_id != _RELIABLE_ACK_DISPATCH:
+            # ACKs travel unstamped (no ACK-of-ACK); everything else is
+            # sequence-numbered and armed for retransmit.
+            rel.stamp(payload, dest)
         desc = self.node.mu.make_descriptor(
             dst=dst_node,
             nbytes=max(nbytes, 1),
@@ -152,6 +174,23 @@ class PamiContext:
         self.ififo.post(desc)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        return desc
+
+    def _repost(self, dest: Endpoint, payload) -> Descriptor:
+        """Retransmit a stamped payload on a fresh descriptor.
+
+        Transport-internal (called by the reliability timer): keeps the
+        original sequence number and does not recount ``messages_sent``.
+        """
+        dst_node, dst_fifo = dest
+        desc = self.node.mu.make_descriptor(
+            dst=dst_node,
+            nbytes=max(payload.nbytes, 1),
+            kind=MEMFIFO,
+            rec_fifo=dst_fifo,
+            message=payload,
+        )
+        self.ififo.post(desc)
         return desc
 
     def rget(self, thread: HWThread, src_node: int, nbytes: int):
@@ -230,6 +269,11 @@ class PamiContext:
             if pkt.is_last:
                 desc: Descriptor = pkt.message
                 payload: AMPayload = desc.message
+                rel = self.reliability
+                if rel is not None:
+                    ok = yield from rel.on_receive(thread, payload, desc)
+                    if not ok:
+                        continue
                 yield from thread.compute(p.pami_dispatch_instr)
                 self.messages_received += 1
                 fn = self.dispatch.get(payload.dispatch_id)

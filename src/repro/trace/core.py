@@ -105,6 +105,16 @@ class Tracer:
         self._open: Dict[int, Tuple[str, float]] = {}
         self._nest: Dict[int, List[str]] = {}
         self._finalizers: List[Any] = []
+        #: Instant events ``(track, name, time)`` — e.g. fault-injection
+        #: marks; rendered as Chrome-trace instants by the exporter.
+        self.marks: List[Tuple[int, str, float]] = []
+
+    # -- instant events ----------------------------------------------------
+    def mark(self, track: int, name: str) -> None:
+        """Record a zero-duration instant event on ``track`` at ``now``."""
+        if not self.enabled:
+            return
+        self.marks.append((track, name, self.env.now))
 
     # -- counters ---------------------------------------------------------
     def count(self, name: str, n: float = 1, track: Optional[int] = None) -> None:

@@ -79,7 +79,8 @@ def to_chrome_trace(
             "args": {"name": process_name},
         }
     ]
-    for track in tracer.tracks():
+    mark_tracks = {t for t, _, _ in tracer.marks}
+    for track in sorted(set(tracer.tracks()) | mark_tracks):
         events.append(
             {
                 "name": "thread_name",
@@ -103,6 +104,20 @@ def to_chrome_trace(
         if color is not None:
             ev["cname"] = color
         events.append(ev)
+    for track, name, t in tracer.marks:
+        # Instant events (fault injections, transport retries...) show
+        # as thread-scoped arrows on their track in Perfetto.
+        events.append(
+            {
+                "name": name,
+                "cat": "mark",
+                "ph": "i",
+                "ts": t * scale,
+                "pid": 0,
+                "tid": track,
+                "s": "t",
+            }
+        )
     _, t1 = tracer.time_span()
     for name in sorted(tracer.counters):
         events.append(

@@ -1,0 +1,19 @@
+"""F1 bad: seeded-but-raw RNG inside the faults subsystem.
+
+Every draw here is explicitly seeded, so D2 is satisfied — but none
+derives from FaultPlan.seed through sim.rng stream spawning, so the
+fault schedule is not a pure function of the plan (F1).
+"""
+
+import random
+
+import numpy as np
+
+
+def link_drop(seed):
+    return random.Random(seed).uniform(0.0, 1.0) < 0.05
+
+
+def fifo_delay(seed):
+    rng = np.random.default_rng(seed)
+    return rng.exponential(4000.0)

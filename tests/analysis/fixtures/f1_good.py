@@ -1,0 +1,15 @@
+"""F1 good: all randomness flows through named seeded streams."""
+
+from repro.sim.rng import StreamRegistry
+
+
+class Injector:
+    def __init__(self, plan_seed):
+        self.streams = StreamRegistry(plan_seed)
+
+    def link_drop(self, link):
+        u = self.streams.stream(f"link.{link[0]}.{link[1]}").uniform()
+        return u < 0.05
+
+    def fifo_delay(self, node_id, fifo_id):
+        return self.streams.stream(f"rfifo.{node_id}.{fifo_id}").exponential(4000.0)

@@ -55,3 +55,47 @@ def test_d1_allowlist_exempts_harness_paths():
     d1 = next(r for r in rules if r.id == "D1")
     assert not d1.applies_to("src/repro/harness/pingpong.py")
     assert d1.applies_to("src/repro/sim/engine.py")
+
+
+# -- F1: raw RNG forbidden inside src/repro/faults ------------------------
+#
+# F1 is path-scoped (it only applies inside the faults subsystem), so its
+# fixture pair is analyzed with a config that maps the fixture files into
+# scope rather than through the default-rules harness above.
+
+
+def _analyze_f1(filename):
+    from repro.analysis.config import Config
+
+    cfg = Config(faults_paths=("f1_bad.py", "f1_good.py"))
+    analyzer = Analyzer(FIXTURES, default_rules(cfg), baseline=None)
+    return analyzer.analyze_file(FIXTURES / filename).violations
+
+
+def test_f1_fires_on_seeded_raw_rng():
+    """Seeded random.Random/default_rng are D2-clean but still F1 dirty."""
+    violations = _analyze_f1("f1_bad.py")
+    assert {v.rule for v in violations} == {"F1"}
+    # import random + random.Random(...) + np.random.default_rng(...)
+    assert len(violations) >= 3
+
+
+def test_f1_silent_on_stream_registry_use():
+    violations = _analyze_f1("f1_good.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_f1_scoped_to_faults_paths():
+    """Outside src/repro/faults the rule does not apply at all."""
+    rules = default_rules()
+    f1 = next(r for r in rules if r.id == "F1")
+    assert f1.applies_to("src/repro/faults/injector.py")
+    assert f1.applies_to("src/repro/faults/sub/helper.py")
+    assert not f1.applies_to("src/repro/sim/rng.py")
+    assert not f1.applies_to("tests/faults/test_injector.py")
+
+
+def test_f1_inert_on_fixture_dir_by_default():
+    """The default config keeps F1 out of the shared fixture harness."""
+    violations = _analyze(FIXTURES / "f1_bad.py")
+    assert violations == [], [v.format() for v in violations]

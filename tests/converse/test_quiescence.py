@@ -81,3 +81,87 @@ def test_start_is_idempotent_while_armed():
     e1 = qd.start()
     e2 = qd.start()
     assert e1 is e2
+
+
+# -- protocol cost (the reduction/broadcast each round stands for) ----------
+
+
+def test_qd_rounds_charge_protocol_messages_and_latency():
+    env, rt = build(nnodes=2, workers=2)  # P = 4
+    qd = QuiescenceDetector(rt, poll_interval_us=5.0)
+    assert qd.msgs_per_round == 2 * (4 - 1)
+    assert qd.round_cost > 0.0
+    done = qd.start()
+    rt.start()
+    t = env.run(until=done)
+    rt.stop()
+    # An idle system needs three samples: the first primes `prev`, then
+    # two consecutive unchanged drained rounds declare quiescence.
+    assert qd.rounds == 3
+    assert t == pytest.approx(qd.rounds * (qd.poll_interval + qd.round_cost))
+    assert qd.protocol_msgs == qd.rounds * qd.msgs_per_round
+    # Charges are mirrored into the runtime's ledger (qd.* counters).
+    assert rt.qd_rounds == qd.rounds
+    assert rt.qd_protocol_msgs == qd.protocol_msgs
+
+
+def test_qd_single_pe_rounds_are_free():
+    """P = 1 needs no reduction: zero messages, zero extra latency."""
+    env, rt = build(nnodes=1, workers=1)
+    qd = QuiescenceDetector(rt, poll_interval_us=1.0)
+    assert qd.msgs_per_round == 0
+    assert qd.round_cost == 0.0
+    done = qd.start()
+    rt.start()
+    t = env.run(until=done)
+    rt.stop()
+    assert qd.protocol_msgs == 0
+    assert rt.qd_protocol_msgs == 0
+    assert t == pytest.approx(qd.rounds * qd.poll_interval)
+
+
+# -- retransmit-pending packets are in flight (message-race regression) -----
+
+
+def test_qd_waits_for_retransmit_pending_packets():
+    """QD must not fire while a dropped send awaits retransmission.
+
+    The send goes through the PAMI layer directly (the many-to-many
+    pattern), so the Converse created/processed counters never see it;
+    while the outage window holds, no FIFO or queue holds a packet for
+    it either — the *only* evidence it is still in flight is the
+    reliability layer's pending table.  A detector that ignores
+    ``rel.in_flight`` declares quiescence during the outage, before the
+    message ever arrives.
+    """
+    from repro.faults import FaultPlan, LinkDownWindow
+
+    env = Environment()
+    window_end = 320_000.0  # 200 us outage from t=0
+    plan = FaultPlan(
+        seed=0,
+        down=(LinkDownWindow(None, None, 0.0, window_end),),
+        retry_timeout_us=50.0,  # retransmits at 80k, 240k, 560k cycles
+        retry_max=12,
+    )
+    rt = ConverseRuntime(
+        env, RunConfig(nnodes=2, workers_per_process=1, fault_plan=plan)
+    )
+    ctx0 = rt.processes[0].contexts[0]
+    ctx1 = rt.processes[1].contexts[0]
+    arrivals = []
+    ctx1.register_dispatch(0x51, lambda c, t, payload: arrivals.append(env.now))
+    qd = QuiescenceDetector(rt, poll_interval_us=5.0)
+    quiesced = qd.start()
+    rt.start()
+    ctx0._post(ctx1.endpoint, 0x51, 32, "retry me")
+    env.run(until=env.any_of([quiesced, env.timeout(100_000_000.0)]))
+    rt.stop()
+    assert quiesced.triggered
+    # Delivered exactly once, necessarily after the outage lifted...
+    assert len(arrivals) == 1
+    assert arrivals[0] > window_end
+    # ...and quiescence was declared only after that delivery.
+    assert env.now > arrivals[0]
+    assert ctx0.reliability.retries > 0
+    assert ctx0.reliability.in_flight == 0

@@ -1,0 +1,183 @@
+"""Tests for the fault injector: seeded, per-choke-point draws."""
+
+import pytest
+
+from repro.bgq.mu import Descriptor
+from repro.bgq.network import MEMFIFO, RDMA_DATA, Packet
+from repro.faults import FaultInjector, FaultPlan, FaultRates, LinkDownWindow
+from repro.sim import Environment
+
+
+def packet(kind=MEMFIFO, is_last=True, src=0, dst=1):
+    desc = Descriptor(Environment(), dst=dst, nbytes=32, kind=kind)
+    return Packet(
+        src=src, dst=dst, kind=kind, payload_bytes=32,
+        message=desc, is_last=is_last,
+    )
+
+
+def injector(**plan_kw):
+    plan_kw.setdefault("seed", 0)
+    return FaultInjector(Environment(), FaultPlan(**plan_kw))
+
+
+ROUTE = [(0, 1)]
+
+
+# -- routing choke point ----------------------------------------------------
+
+
+def test_no_faults_on_null_rates():
+    inj = injector()
+    assert inj.on_route(packet(), ROUTE) is None
+    assert inj.stats.as_dict() == {k: 0 for k in inj.stats.as_dict()}
+
+
+def test_kind_filter_spares_rdma_traffic():
+    inj = injector(link=FaultRates(drop=1.0))
+    assert inj.on_route(packet(kind=RDMA_DATA), ROUTE) is None
+    assert inj.stats.dropped == 0
+
+
+def test_certain_drop():
+    inj = injector(link=FaultRates(drop=1.0))
+    action = inj.on_route(packet(), ROUTE)
+    assert action.drop
+    assert inj.stats.dropped == 1
+
+
+def test_dropped_fragment_taints_message():
+    """Losing a non-final packet corrupts the whole multi-packet message."""
+    inj = injector(link=FaultRates(drop=1.0))
+    pkt_mid = packet(is_last=False)
+    inj.on_route(pkt_mid, ROUTE)
+    assert pkt_mid.message.corrupted
+    pkt_last = packet(is_last=True)
+    inj.on_route(pkt_last, ROUTE)
+    assert not pkt_last.message.corrupted  # last-packet loss needs no taint
+
+
+def test_certain_duplicate():
+    inj = injector(link=FaultRates(duplicate=1.0))
+    action = inj.on_route(packet(), ROUTE)
+    assert not action.drop
+    assert action.dup_gap is not None and action.dup_gap > 0.0
+    assert inj.stats.duplicated == 1
+
+
+def test_certain_delay():
+    inj = injector(link=FaultRates(delay=1.0))
+    action = inj.on_route(packet(), ROUTE)
+    assert not action.drop and action.dup_gap is None
+    assert action.extra_delay > 0.0
+    assert inj.stats.delayed == 1
+
+
+def test_reorder_holds_back_longer_than_delay_on_average():
+    """Reorder draws come from a much longer-mean exponential."""
+    plan_d = dict(seed=0, delay_mean_cycles=1_000.0, reorder_mean_cycles=50_000.0)
+    delays = injector(link=FaultRates(delay=1.0), **plan_d)
+    reorders = injector(link=FaultRates(reorder=1.0), **plan_d)
+    n = 200
+    mean_delay = sum(delays.on_route(packet(), ROUTE).extra_delay for _ in range(n)) / n
+    mean_reorder = sum(reorders.on_route(packet(), ROUTE).extra_delay for _ in range(n)) / n
+    assert mean_reorder > 5 * mean_delay
+    assert reorders.stats.reordered == n
+
+
+def test_certain_corrupt_taints_but_delivers():
+    inj = injector(link=FaultRates(corrupt=1.0))
+    pkt = packet()
+    action = inj.on_route(pkt, ROUTE)
+    assert action is not None and not action.drop
+    assert pkt.message.corrupted
+    assert inj.stats.corrupted == 1
+
+
+def test_link_down_window_drops_everything():
+    inj = injector(down=(LinkDownWindow(None, None, 0.0, 1_000.0),))
+    action = inj.on_route(packet(), ROUTE)
+    assert action.drop
+    assert inj.stats.link_down_drops == 1
+
+
+def test_link_down_window_respects_time_and_link():
+    env = Environment()
+    plan = FaultPlan(seed=0, down=(LinkDownWindow(0, 1, 500.0, 1_000.0),))
+    inj = FaultInjector(env, plan)
+    # Window not yet open.
+    assert inj.on_route(packet(), ROUTE) is None
+    env.run(until=600.0)
+    assert inj.on_route(packet(), ROUTE).drop
+    # A route avoiding the downed directed link is unaffected.
+    assert inj.on_route(packet(src=1, dst=0), [(1, 0)]) is None
+
+
+def test_per_link_override_scopes_faults():
+    inj = injector(per_link={(0, 1): FaultRates(drop=1.0)})
+    assert inj.on_route(packet(), [(0, 1)]).drop
+    assert inj.on_route(packet(src=1, dst=0), [(1, 0)]) is None
+
+
+# -- reception-FIFO choke point ---------------------------------------------
+
+
+def test_fifo_certain_drop_and_dup():
+    dropper = injector(rec_fifo=FaultRates(drop=1.0))
+    assert dropper.on_reception(1, 0, packet()) == "drop"
+    assert dropper.stats.fifo_dropped == 1
+    dupper = injector(rec_fifo=FaultRates(duplicate=1.0))
+    assert dupper.on_reception(1, 0, packet()) == "dup"
+    assert dupper.stats.fifo_duplicated == 1
+
+
+def test_fifo_kind_filter_and_per_fifo_override():
+    inj = injector(per_fifo={(1, 3): FaultRates(drop=1.0)})
+    assert inj.on_reception(1, 3, packet(kind=RDMA_DATA)) is None
+    assert inj.on_reception(1, 3, packet()) == "drop"
+    assert inj.on_reception(1, 2, packet()) is None
+    assert inj.on_reception(2, 3, packet()) is None
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def drop5_decisions(seed, route=((0, 1),), n=200):
+    inj = injector(seed=seed, link=FaultRates(drop=0.05, delay=0.05))
+    out = []
+    for _ in range(n):
+        action = inj.on_route(packet(), list(route))
+        out.append(None if action is None else (action.drop, action.extra_delay))
+    return out
+
+
+def test_same_seed_reproduces_fault_schedule():
+    assert drop5_decisions(seed=7) == drop5_decisions(seed=7)
+
+
+def test_different_seed_changes_fault_schedule():
+    assert drop5_decisions(seed=0) != drop5_decisions(seed=1)
+
+
+def test_per_link_streams_are_independent():
+    """Traffic on one link never perturbs another link's draws."""
+    quiet = injector(seed=3, link=FaultRates(drop=0.05, delay=0.05))
+    noisy = injector(seed=3, link=FaultRates(drop=0.05, delay=0.05))
+    decisions_quiet = []
+    decisions_noisy = []
+    for i in range(200):
+        # The noisy injector sees interleaved traffic on link (2, 3).
+        noisy.on_route(packet(src=2, dst=3), [(2, 3)])
+        a = quiet.on_route(packet(), ROUTE)
+        b = noisy.on_route(packet(), ROUTE)
+        decisions_quiet.append(None if a is None else (a.drop, a.extra_delay))
+        decisions_noisy.append(None if b is None else (b.drop, b.extra_delay))
+    assert decisions_quiet == decisions_noisy
+
+
+def test_fifo_streams_distinct_per_fifo():
+    inj = injector(seed=5, rec_fifo=FaultRates(drop=0.5))
+    a = [inj.on_reception(0, 0, packet()) for _ in range(100)]
+    inj2 = injector(seed=5, rec_fifo=FaultRates(drop=0.5))
+    b = [inj2.on_reception(0, 1, packet()) for _ in range(100)]
+    assert a != b  # distinct named streams

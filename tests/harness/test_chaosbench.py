@@ -1,0 +1,52 @@
+"""Tests for the chaos fuzz harness (small cells of the CI matrix)."""
+
+from repro.harness.chaosbench import main, run_m2m_chaos, run_matrix, run_pingpong_chaos
+
+
+def test_pingpong_under_drop5():
+    r = run_pingpong_chaos("drop5", seed=0, trips=8)
+    assert r["ok"] and r["payload_ok"] and r["quiesced"]
+    assert r["workload"] == "pingpong" and r["profile"] == "drop5"
+    assert r["gave_up"] == 0
+    assert r["in_flight_left"] == 0
+    assert r["qd_rounds"] >= 2
+
+
+def test_m2m_under_drop5():
+    r = run_m2m_chaos("drop5", seed=0, rounds=2, fanout=6)
+    assert r["ok"] and r["payload_ok"] and r["quiesced"]
+    assert r["workload"] == "m2m"
+    assert r["gave_up"] == 0
+    assert r["in_flight_left"] == 0
+
+
+def test_pingpong_without_faults_is_clean():
+    """The 'none' profile runs the harness with no injector at all."""
+    r = run_pingpong_chaos("none", seed=0, trips=6)
+    assert r["ok"]
+    assert r["faults"] == {}
+    assert r["retries"] == 0 and r["dup_suppressed"] == 0
+
+
+def test_cells_are_deterministic():
+    a = run_pingpong_chaos("chaos", seed=1, trips=6)
+    b = run_pingpong_chaos("chaos", seed=1, trips=6)
+    assert a == b
+
+
+def test_run_matrix_shapes_cells():
+    results = run_matrix(
+        ["drop5"], [0], ["pingpong", "m2m"],
+        pingpong={"trips": 4}, m2m={"rounds": 1, "fanout": 4},
+    )
+    assert [r["workload"] for r in results] == ["pingpong", "m2m"]
+    assert all(r["ok"] for r in results)
+
+
+def test_main_exit_status(capsys):
+    rc = main(["--profiles", "drop1", "--seeds", "0", "--workloads", "pingpong",
+               "--trips", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[ok] pingpong" in out
+    assert "1/1 cells passed" in out
