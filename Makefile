@@ -2,9 +2,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo bench bench-gate chaos
+.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos
 
-tier1: test bench-gate lint  ## full tier-1 flow: tests + benchmark gate + lint
+tier1: test bench-gate trace-gate lint  ## full tier-1 flow: tests + gates + lint
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,11 @@ chaos:           ## chaos suite: pingpong + m2m under seeded fault profiles with
                  ## the checked DES engine; asserts bit-correct payloads and
                  ## eventual quiescence on every (profile, seed) cell
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.chaosbench --profiles drop5 chaos --seeds 0 1 2
+
+trace-gate:      ## trace-diff regression gate: re-runs the figure trace configs
+                 ## and diffs counters / utilization / critical-path length vs the
+                 ## committed baselines in benchmarks/baselines/ (docs/TRACING.md)
+	$(PYTHON) -m repro.harness.tracegate
 
 trace-test:      ## just the tracing-subsystem tests (pytest -m trace)
 	$(PYTHON) -m pytest -q -m trace tests/trace

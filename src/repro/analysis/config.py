@@ -31,6 +31,14 @@ __all__ = ["Config", "load_config", "find_root"]
 _DEFAULT_PATHS = ("src", "tests")
 _DEFAULT_WALLCLOCK_ALLOW = ("src/repro/harness", "src/repro/trace")
 _DEFAULT_FAULTS_PATHS = ("src/repro/faults",)
+_DEFAULT_TRACE_HOT_PATHS = (
+    "src/repro/converse",
+    "src/repro/pami",
+    "src/repro/bgq",
+    "src/repro/sim",
+    "src/repro/queues.py",
+    "src/repro/faults",
+)
 
 
 @dataclass
@@ -45,6 +53,9 @@ class Config:
     wallclock_allow: Tuple[str, ...] = _DEFAULT_WALLCLOCK_ALLOW
     #: Paths where F1 (raw RNG forbidden; sim.rng streams only) applies.
     faults_paths: Tuple[str, ...] = _DEFAULT_FAULTS_PATHS
+    #: Hot-path modules where T1 (tracer calls must be None-guarded,
+    #: the zero-cost-when-disabled contract) applies.
+    trace_hot_paths: Tuple[str, ...] = _DEFAULT_TRACE_HOT_PATHS
 
     @property
     def baseline_path(self) -> Path:
@@ -82,4 +93,6 @@ def load_config(root: Optional[Path] = None) -> Config:
         cfg.wallclock_allow = tuple(table["wallclock-allow"])
     if "faults-paths" in table:
         cfg.faults_paths = tuple(table["faults-paths"])
+    if "trace-hot-paths" in table:
+        cfg.trace_hot_paths = tuple(table["trace-hot-paths"])
     return cfg

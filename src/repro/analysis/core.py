@@ -95,7 +95,12 @@ def register(cls: Type["Rule"]) -> Type["Rule"]:
 
 def all_rule_classes() -> Dict[str, Type["Rule"]]:
     """Every registered rule class, importing the shipped rule modules."""
-    from . import rules_determinism, rules_faults, rules_protocol  # noqa: F401 (registration)
+    from . import (  # noqa: F401 (registration)
+        rules_determinism,
+        rules_faults,
+        rules_protocol,
+        rules_trace,
+    )
 
     return dict(sorted(_REGISTRY.items()))
 

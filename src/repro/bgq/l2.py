@@ -55,6 +55,11 @@ class L2AtomicUnit:
         self.params = params
         self._counters: Dict[str, L2Counter] = {}
         self.op_count = 0
+        # Native HPM-style stats (always on, harvested at finish() by
+        # repro.trace.hpm): per-op-type counts and bounded-increment
+        # failures — the "queue full / queue empty" events of §III-A.
+        self.op_counts: Dict[str, int] = {}
+        self.bounded_failed = 0
 
     # -- allocation ----------------------------------------------------
     def allocate(self, name: str, value: int = 0, bound: Optional[int] = None) -> L2Counter:
@@ -67,19 +72,21 @@ class L2AtomicUnit:
     def get(self, name: str) -> L2Counter:
         return self._counters[name]
 
-    def _latency(self):
+    def _latency(self, op: str):
         self.op_count += 1
+        counts = self.op_counts
+        counts[op] = counts.get(op, 0) + 1
         return self.env.timeout(self.params.l2_atomic_latency)
 
     # -- atomic operations ----------------------------------------------
     def load(self, c: L2Counter):
         """Plain atomic load (also ~one L2 round trip)."""
-        yield self._latency()
+        yield self._latency("load")
         return c.value
 
     def load_increment(self, c: L2Counter):
         """Unbounded load-increment: returns the pre-increment value."""
-        yield self._latency()
+        yield self._latency("load_increment")
         old = c.value
         c.value += 1
         return old
@@ -92,34 +99,35 @@ class L2AtomicUnit:
         """
         if c.bound is None:
             raise ValueError(f"counter {c.name!r} has no bound word")
-        yield self._latency()
+        yield self._latency("load_increment_bounded")
         if c.value >= c.bound:
+            self.bounded_failed += 1
             return BOUNDED_INCREMENT_FAILED
         old = c.value
         c.value += 1
         return old
 
     def store(self, c: L2Counter, value: int):
-        yield self._latency()
+        yield self._latency("store")
         c.value = value
 
     def store_add(self, c: L2Counter, delta: int):
-        yield self._latency()
+        yield self._latency("store_add")
         c.value += delta
 
     def store_or(self, c: L2Counter, mask: int):
-        yield self._latency()
+        yield self._latency("store_or")
         c.value |= mask
 
     def store_xor(self, c: L2Counter, mask: int):
-        yield self._latency()
+        yield self._latency("store_xor")
         c.value ^= mask
 
     def store_add_bound(self, c: L2Counter, delta: int):
         """Atomically advance the *bound* word (consumer-side dequeue)."""
         if c.bound is None:
             raise ValueError(f"counter {c.name!r} has no bound word")
-        yield self._latency()
+        yield self._latency("store_add_bound")
         c.bound += delta
 
     # -- zero-latency peeks (model bookkeeping only) ---------------------

@@ -95,6 +95,9 @@ class InjectionFifo:
         self._work = env.event()
         self.descriptors_processed = 0
         self.packets_injected = 0
+        #: Occupancy high-water mark (descriptors queued behind the
+        #: engine) — the HPM "injection FIFO depth" counter.
+        self.occupancy_hwm = 0
         env.process(self._engine(), name=f"mu{mu.node_id}-ififo{fifo_id}")
 
     def __len__(self) -> int:
@@ -103,6 +106,9 @@ class InjectionFifo:
     def post(self, desc: Descriptor) -> None:
         """Post a descriptor (zero software cost here; callers charge it)."""
         self._queue.append(desc)
+        depth = len(self._queue)
+        if depth > self.occupancy_hwm:
+            self.occupancy_hwm = depth
         if not self._work.triggered:
             self._work.succeed()
 
@@ -164,12 +170,18 @@ class ReceptionFifo:
         self._packets: Deque[Packet] = deque()
         self.wakeup = WakeupSource(env, name=f"rfifo{fifo_id}", params=params)
         self.packets_received = 0
+        #: Occupancy high-water mark (packets awaiting software drain) —
+        #: the HPM "reception FIFO depth" counter.
+        self.occupancy_hwm = 0
 
     def __len__(self) -> int:
         return len(self._packets)
 
     def push(self, packet: Packet) -> None:
         self._packets.append(packet)
+        depth = len(self._packets)
+        if depth > self.occupancy_hwm:
+            self.occupancy_hwm = depth
         self.packets_received += 1
         self.wakeup.signal()
 

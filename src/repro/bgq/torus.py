@@ -88,6 +88,10 @@ class Torus:
             strides.append(acc)
             acc *= s
         self._strides = tuple(reversed(strides))
+        # Native HPM-style stats: routing decisions and total link hops
+        # computed (harvested by repro.trace.hpm at finish()).
+        self.routes_computed = 0
+        self.hops_routed = 0
 
     # -- coordinates -----------------------------------------------------
     def coords(self, rank: int) -> Tuple[int, ...]:
@@ -155,6 +159,7 @@ class Torus:
         direction; ``dim_order`` traverses the dimensions in a custom
         order (the mechanism behind minimal-adaptive routing).
         """
+        self.routes_computed += 1
         if a == b:
             return []
         order = range(self.ndim) if dim_order is None else dim_order
@@ -172,6 +177,7 @@ class Torus:
                 nxt[dim] = (cur[dim] + step) % s
                 links.append((self.rank(cur), self.rank(nxt)))
                 cur = nxt
+        self.hops_routed += len(links)
         return links
 
     def links(self) -> Iterator[Tuple[int, int]]:

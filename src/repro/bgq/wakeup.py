@@ -47,6 +47,9 @@ class WakeupSource:
         self._latched = False
         self.signals = 0
         self.wakeups = 0
+        #: Times an arm() found the condition already latched (the
+        #: lost-wakeup race the latch exists for) — an HPM counter.
+        self.latched_fires = 0
 
     def arm(self, latency: Optional[float] = None) -> Event:
         """Arm the watch; returns the event the waiter should yield on.
@@ -63,6 +66,7 @@ class WakeupSource:
         ev = self.env.event()
         if self._latched:
             self._latched = False
+            self.latched_fires += 1
             self._fire(ev, latency)
         else:
             self._armed.append((ev, latency))

@@ -160,7 +160,18 @@ class Charm:
         hid = self.entry_handler_id(method)
         pe = self.runtime.pes[array.pe_of(index)]
         payload = (array.name, index, method, args)
-        pe.local_q.append(ConverseMessage(hid, 0, payload, pe.rank, pe.rank))
+        rec = self.runtime.tracer
+        msg_id = None
+        if rec is not None:
+            # Seeds are the roots of the causal DAG: stamp + record a
+            # send/recv pair at t=0 so critical paths start somewhere.
+            pe.msg_seq += 1
+            msg_id = (pe.rank, pe.msg_seq)
+            rec.msg_send(msg_id, pe.rank, pe.rank, 0)
+            rec.msg_recv(msg_id, pe.rank)
+        pe.local_q.append(
+            ConverseMessage(hid, 0, payload, pe.rank, pe.rank, msg_id=msg_id)
+        )
 
     def exit(self, value: Any = None) -> None:
         """CkExit: end the run; :meth:`run` returns ``value``."""

@@ -103,7 +103,18 @@ class CmiDirectHandle:
             def completion(c, t):
                 from .messages import ConverseMessage
 
-                msg = ConverseMessage(hid, 0, self.tag, pe.rank, pe.rank)
+                rec = runtime.tracer
+                msg_id = None
+                if rec is not None:
+                    # Provenance: the m2m burst itself is PAMI-level
+                    # traffic (not Converse messages), but its completion
+                    # notification is — stamp it so the PME dependency
+                    # chain stays connected in the causal DAG.
+                    pe.msg_seq += 1
+                    msg_id = (pe.rank, pe.msg_seq)
+                    rec.msg_send(msg_id, pe.rank, pe.rank, 0)
+                msg = ConverseMessage(hid, 0, self.tag, pe.rank, pe.rank,
+                                      msg_id=msg_id)
                 yield from runtime._deliver_to_pe(t, msg)
 
             ctx.post_completion(completion)

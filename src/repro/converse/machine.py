@@ -40,6 +40,7 @@ from ..pami.commthread import CommThread
 from ..pami.context import AMPayload, Endpoint, PamiClient, PamiContext
 from ..pami.manytomany import ManyToManyRegistry
 from ..sim import Environment, TimelineRecorder
+from ..trace.hpm import install_hpm
 from .alloc import make_allocator
 from .messages import ConverseMessage
 from .scheduler import PE
@@ -365,6 +366,10 @@ class ConverseRuntime:
                     if ctx.reliability is not None:
                         ctx.reliability.tracer = tracer
         tracer.add_finalizer(self._flush_stats)
+        # Simulated hardware-performance-counter groups (repro.trace.hpm):
+        # per-node L2/MU/wakeup-unit/comm-thread counters, harvested from
+        # the same native stats at finish().
+        install_hpm(tracer, self)
 
     def _flush_stats(self) -> None:
         """Snapshot component statistics into the tracer's counters.
@@ -516,8 +521,22 @@ class ConverseRuntime:
         src_pe.msgs_sent += 1
         src_pe.bytes_sent += nbytes
         rec = self.tracer
+        msg_id = None
         if rec is not None:
             rec.begin(src_pe.rank, "comm")
+            # Provenance stamp: monotonic per-source id, recorded as the
+            # send edge of the causal DAG.  Host-side only (the id rides
+            # in tuples/slots), so stamping is cycle-neutral — and it
+            # only happens at all on traced runs.  The append is inlined
+            # (schema of Tracer.msg_send) — this is the per-message hot
+            # path, and a method call per event is what the <5% tracer
+            # overhead budget can't afford.
+            if rec.enabled:
+                src_pe.msg_seq += 1
+                msg_id = (src_pe.rank, src_pe.msg_seq)
+                rec.provenance.append(
+                    ("send", msg_id, src_pe.rank, dst_rank, nbytes, env.now)
+                )
 
         if dst_pe.process is proc:
             # Intra-process: pointer exchange into the peer's L2 queue.
@@ -525,13 +544,15 @@ class ConverseRuntime:
             yield from thread.compute(p.intranode_deliver_instr)
             msg = ConverseMessage(
                 handler_id, nbytes, payload, src_pe.rank, dst_rank,
-                sent_at=env.now, priority=priority,
+                sent_at=env.now, priority=priority, msg_id=msg_id,
             )
             if dst_pe is src_pe:
                 src_pe.local_q.append(msg)
             else:
                 yield from dst_pe.enqueue_from(thread, msg)
             if rec is not None:
+                if msg_id is not None:
+                    rec.provenance.append(("recv", msg_id, dst_rank, env.now))
                 rec.begin(src_pe.rank, "sched")
             return
 
@@ -542,7 +563,7 @@ class ConverseRuntime:
             p.converse_send_instr + (p.smp_overhead_instr if proc.is_smp else 0.0)
         )
         endpoint = dst_pe.process.inbound_endpoint(dst_pe.local_index)
-        data = (dst_rank, handler_id, nbytes, payload, env.now, priority)
+        data = (dst_rank, handler_id, nbytes, payload, env.now, priority, msg_id)
 
         if nbytes <= p.rendezvous_threshold:
             self.eager_sends += 1
@@ -578,6 +599,7 @@ class ConverseRuntime:
                 token,
                 ack_ep,
                 env.now,
+                msg_id,
             )
             yield from thread.compute(p.rendezvous_extra_instr / 2)
             if proc.comm_threads:
@@ -607,10 +629,19 @@ class ConverseRuntime:
             pe.local_q.append(msg)
         else:
             yield from pe.enqueue_from(thread, msg)
+        rec = self.tracer
+        if rec is not None and msg.msg_id is not None and rec.enabled:
+            # Receive edge: arrival in the destination PE's queue.  A
+            # retransmitted message can arrive twice; analysis keeps the
+            # first recv event per id.  Inlined append (schema of
+            # Tracer.msg_recv) — per-message hot path.
+            rec.provenance.append(
+                ("recv", msg.msg_id, msg.dst_rank, self.env.now)
+            )
 
     def _eager_dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
         p = self.params
-        dst_rank, handler_id, nbytes, user_payload, sent_at, priority = payload.data
+        dst_rank, handler_id, nbytes, user_payload, sent_at, priority, msg_id = payload.data
         proc = self._proc_of_context(ctx)
         self.messages_delivered += 1
         yield from thread.compute(p.converse_recv_instr)
@@ -618,13 +649,13 @@ class ConverseRuntime:
         yield from thread.compute(nbytes / p.memcpy_bytes_per_instr)
         msg = ConverseMessage(
             handler_id, nbytes, user_payload, -1, dst_rank, buffer=buf,
-            sent_at=sent_at, priority=priority,
+            sent_at=sent_at, priority=priority, msg_id=msg_id,
         )
         yield from self._deliver_to_pe(thread, msg)
 
     def _rts_dispatch(self, ctx: PamiContext, thread: HWThread, payload: AMPayload):
         p = self.params
-        (dst_rank, handler_id, nbytes, user_payload, src_node, token, ack_ep, sent_at) = payload.data
+        (dst_rank, handler_id, nbytes, user_payload, src_node, token, ack_ep, sent_at, msg_id) = payload.data
         proc = self._proc_of_context(ctx)
         self.messages_delivered += 1
         yield from thread.compute(p.rendezvous_extra_instr / 2)
@@ -635,7 +666,8 @@ class ConverseRuntime:
             buf = yield from proc.alloc.malloc(t, nbytes)
             # RDMA wrote straight into memory: no unpack copy.
             msg = ConverseMessage(
-                handler_id, nbytes, user_payload, -1, dst_rank, buffer=buf, sent_at=sent_at
+                handler_id, nbytes, user_payload, -1, dst_rank, buffer=buf,
+                sent_at=sent_at, msg_id=msg_id,
             )
             yield from self._deliver_to_pe(t, msg)
             yield from c.send_immediate(t, ack_ep, DISPATCH_ACK, 16, token)

@@ -27,6 +27,7 @@ class ConverseMessage:
         "buffer",
         "sent_at",
         "priority",
+        "msg_id",
     )
 
     def __init__(
@@ -39,6 +40,7 @@ class ConverseMessage:
         buffer: Optional[Buffer] = None,
         sent_at: float = 0.0,
         priority: int = 0,
+        msg_id: Optional[tuple] = None,
     ) -> None:
         self.handler_id = handler_id
         self.nbytes = nbytes
@@ -50,6 +52,10 @@ class ConverseMessage:
         #: Charm++-style priority: smaller values run first; equal
         #: priorities keep arrival order.
         self.priority = priority
+        #: Causal provenance id ``(src_pe, seq)``, stamped by the machine
+        #: layer at send time *only when tracing* (None otherwise — the
+        #: id is host-side data and never affects simulated time).
+        self.msg_id = msg_id
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

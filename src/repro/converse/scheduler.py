@@ -75,6 +75,10 @@ class PE:
         self.msgs_sent = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Monotonic per-PE send sequence for provenance ids; only
+        #: advanced on traced runs (the machine layer stamps
+        #: ``(rank, msg_seq)`` on each outgoing message).
+        self.msg_seq = 0
         self._proc = None  # scheduler Process, set at start
 
     # -- sending (called from inside handlers running on this PE) -----------
@@ -130,8 +134,10 @@ class PE:
         p = self.params
         rec: Optional[TimelineRecorder] = self.runtime.tracer
         handler = self.runtime.handlers[msg.handler_id]
+        t0 = 0.0
         if rec is not None:
             rec.begin(self.rank, self.runtime.handler_categories.get(msg.handler_id, "sched"))
+            t0 = self.env.now
         result = handler(self, msg)
         if result is not None and hasattr(result, "__next__"):
             yield from result
@@ -143,6 +149,12 @@ class PE:
             yield from self.process.alloc.free(self.thread, msg.buffer)
             msg.buffer = None
         if rec is not None:
+            if msg.msg_id is not None and rec.enabled:
+                # Inlined append (schema of Tracer.msg_exec) — one per
+                # executed message, on the scheduler hot path.
+                rec.provenance.append(
+                    ("exec", msg.msg_id, self.rank, t0, self.env.now)
+                )
             rec.begin(self.rank, "sched")
 
     def _scheduler(self):

@@ -1,0 +1,139 @@
+"""The trace-diff regression gate: ``python -m repro.harness.tracegate``.
+
+Runs the small traced configurations behind the paper's trace figures
+(Fig. 3 standard-vs-m2m PME, Fig. 9 comm-thread profile), exports
+their artifacts to ``benchmarks/output/`` and diffs each fresh
+manifest against the committed baseline in ``benchmarks/baselines/``
+with :func:`repro.trace.diff.diff_manifests`.
+
+This is to trace-shaped behavior what ``benchgate`` is to throughput:
+the DES is deterministic, so a counter, a utilization fraction or the
+critical-path length moving outside tolerance means a code change
+altered the simulated machine's behavior — either intentionally
+(re-run with ``--write-baselines`` and commit the new baselines) or as
+a regression the gate just caught.
+
+Exit status: 0 when every configuration is within tolerance, 1 on any
+violation, 2 when baselines are missing (first run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+from ..trace.diff import diff_manifests, format_diff, load_manifest
+
+__all__ = ["GATE_CONFIGS", "run_gate_config", "main"]
+
+#: The gate's traced configurations — miniature versions of the runs
+#: behind the trace figures, sized to keep the whole gate under ~1 min.
+GATE_CONFIGS = [
+    {
+        "name": "gate_fig3_std",
+        "label": "gate fig3 standard PME",
+        "kwargs": dict(n_atoms=256, nnodes=2, workers=2, comm_threads=1,
+                       pme_every=1, use_m2m_pme=False, n_steps=3, seed=11),
+    },
+    {
+        "name": "gate_fig3_m2m",
+        "label": "gate fig3 m2m PME",
+        "kwargs": dict(n_atoms=256, nnodes=2, workers=2, comm_threads=1,
+                       pme_every=1, use_m2m_pme=True, n_steps=3, seed=11),
+    },
+    {
+        "name": "gate_fig9_ct",
+        "label": "gate fig9 comm threads",
+        "kwargs": dict(n_atoms=256, nnodes=2, workers=4, comm_threads=2,
+                       pme_every=2, use_m2m_pme=False, n_steps=3, seed=11),
+    },
+]
+
+
+def run_gate_config(cfg: Dict, outdir: pathlib.Path) -> str:
+    """Run one gate configuration; returns the fresh manifest path."""
+    from .timelines import export_trace_artifacts, run_traced_namd
+
+    result = run_traced_namd(cfg["label"], **cfg["kwargs"])
+    paths = export_trace_artifacts(result, outdir, cfg["name"])
+    return paths["manifest"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.tracegate",
+        description="Trace-diff regression gate over the figure configurations.",
+    )
+    parser.add_argument(
+        "--baselines", default="benchmarks/baselines",
+        help="directory of committed baseline manifests",
+    )
+    parser.add_argument(
+        "--output", default="benchmarks/output",
+        help="directory for fresh artifacts",
+    )
+    parser.add_argument(
+        "--write-baselines", action="store_true",
+        help="record the fresh manifests as the new baselines and exit",
+    )
+    parser.add_argument("--rel-tol", type=float, default=0.10)
+    parser.add_argument("--util-tol", type=float, default=0.05)
+    parser.add_argument("--critpath-tol", type=float, default=0.10)
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    basedir = pathlib.Path(args.baselines)
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    results: List[Dict] = []
+    missing: List[str] = []
+    failed = False
+    for cfg in GATE_CONFIGS:
+        fresh_path = run_gate_config(cfg, outdir)
+        base_path = basedir / f"{cfg['name']}.manifest.json"
+        if args.write_baselines:
+            basedir.mkdir(parents=True, exist_ok=True)
+            base_path.write_text(pathlib.Path(fresh_path).read_text())
+            print(f"wrote baseline {base_path}")
+            continue
+        if not base_path.is_file():
+            missing.append(str(base_path))
+            continue
+        result = diff_manifests(
+            load_manifest(str(base_path)),
+            load_manifest(fresh_path),
+            rel_tol=args.rel_tol,
+            util_tol=args.util_tol,
+            critpath_tol=args.critpath_tol,
+        )
+        result["config"] = cfg["name"]
+        results.append(result)
+        if not result["ok"]:
+            failed = True
+        if args.format == "text":
+            print(f"[{cfg['name']}]")
+            print(format_diff(result))
+            print()
+
+    if args.write_baselines:
+        return 0
+    if missing:
+        print("missing baselines (run with --write-baselines and commit):",
+              file=sys.stderr)
+        for p in missing:
+            print(f"  {p}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        json.dump({"ok": not failed, "results": results}, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        print("trace-gate: FAILED" if failed else "trace-gate: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ class CommThread:
         # tracer's commthread.* counters at the end of a traced run).
         self.wakeup_count = 0
         self.items_processed = 0
+        self.advance_rounds = 0
         #: Optional repro.trace.Tracer + span track id for comm/idle
         #: span recording (wired by the Converse runtime before the
         #: simulation starts).
@@ -85,6 +86,7 @@ class CommThread:
             for ctx in self.contexts:
                 n += yield from ctx.advance(self.thread)
             self.items_processed += n
+            self.advance_rounds += 1
             if n == 0 and not self._stopped:
                 # No work: arm the wakeup unit and execute `wait`.
                 if tr is not None:

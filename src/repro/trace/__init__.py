@@ -14,7 +14,13 @@ and ``docs/ARCHITECTURE.md`` for where each layer hooks in.  Try
 ``python -m repro.trace.demo`` for an end-to-end traced run.
 """
 
-from .core import OVERHEAD_CATEGORIES, Span, Tracer, USEFUL_CATEGORIES
+from .core import (
+    OVERHEAD_CATEGORIES,
+    Span,
+    Tracer,
+    TracerProtocolError,
+    USEFUL_CATEGORIES,
+)
 from .exporters import (
     format_utilization_table,
     run_manifest,
@@ -28,6 +34,7 @@ __all__ = [
     "OVERHEAD_CATEGORIES",
     "Span",
     "Tracer",
+    "TracerProtocolError",
     "USEFUL_CATEGORIES",
     "format_utilization_table",
     "run_manifest",

@@ -1,0 +1,256 @@
+"""``python -m repro.trace`` — the Projections-style analysis CLI.
+
+Loads a ``.trace.json`` (Chrome trace_event export) or a
+``.manifest.json`` artifact and produces the reports Charm++'s
+Projections tool would:
+
+* ``analyze``     — everything below, in one report
+* ``timeprofile`` — stacked category time per interval (Fig. 10 style)
+* ``utilization`` — per-track busy/useful table + balance histogram
+* ``critpath``    — critical path through the message DAG (Fig. 3)
+* ``messages``    — message latency/size aggregates and histograms
+* ``idle``        — longest idle gaps with the message each waited for
+* ``hpm``         — simulated per-node hardware counter groups
+* ``diff``        — compare two manifests (the trace-gate engine)
+
+All subcommands take ``--format text|json``; text is the default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+from .analyze import (
+    TraceDoc,
+    critical_path_report,
+    format_critical_path,
+    format_histogram,
+    format_hpm,
+    format_imbalance,
+    format_messages,
+    format_time_profile,
+    idle_report,
+    load_artifact,
+    load_imbalance,
+    message_report,
+    time_profile,
+    utilization_histogram,
+    utilization_rows,
+)
+from .diff import diff_manifests, format_diff, load_manifest
+
+
+def _emit(args: argparse.Namespace, payload: Dict[str, Any], text: str) -> None:
+    if args.format == "json":
+        json.dump(payload, sys.stdout, indent=1, default=str)
+        sys.stdout.write("\n")
+    else:
+        print(text)
+
+
+def _unit(doc: TraceDoc) -> str:
+    if doc.kind == "trace":
+        # Chrome exports carry microsecond ts/dur by convention.
+        return "us"
+    return doc.time_unit or "cycles"
+
+
+def _format_utilization(doc: TraceDoc, unit: str) -> str:
+    rows = utilization_rows(doc)
+    if not rows:
+        return "(no utilization data)"
+    lines = []
+    for r in rows:
+        lines.append(
+            f"  {r.get('label', r.get('track')):>16}  "
+            f"busy {r.get('busy', 0.0) * 100:5.1f}%  "
+            f"useful {r.get('useful', 0.0) * 100:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def cmd_timeprofile(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    if doc.kind == "manifest":
+        print("time profile needs a full .trace.json artifact "
+              "(manifests carry only aggregates)", file=sys.stderr)
+        return 2
+    profile = time_profile(doc.spans, bins=args.bins)
+    _emit(args, profile, format_time_profile(profile, _unit(doc)))
+    return 0
+
+
+def cmd_utilization(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    rows = utilization_rows(doc)
+    hist = utilization_histogram(doc)
+    imb = load_imbalance(doc)
+    text = "\n".join(
+        [
+            f"per-track utilization ({doc.label or doc.path}):",
+            _format_utilization(doc, _unit(doc)),
+            "",
+            "busy-fraction histogram:",
+            format_histogram(hist),
+            "",
+            "load imbalance (max/avg per category):",
+            format_imbalance(imb, _unit(doc)),
+        ]
+    )
+    _emit(args, {"utilization": rows, "histogram": hist, "imbalance": imb}, text)
+    return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    report = critical_path_report(doc, top=args.top)
+    _emit(args, report, format_critical_path(report, _unit(doc)))
+    return 0
+
+
+def cmd_messages(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    stats = message_report(doc)
+    _emit(args, stats, format_messages(stats, _unit(doc)))
+    return 0
+
+
+def cmd_idle(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    if doc.kind == "manifest":
+        print("idle attribution needs a full .trace.json artifact",
+              file=sys.stderr)
+        return 2
+    rows = idle_report(doc, top=args.top)
+    lines = ["longest idle gaps (blamed on the arrival that ended each):"]
+    for r in rows:
+        blame = (f"msg ({r['msg_id'][0]},{r['msg_id'][1]}) from "
+                 f"{doc.label_of(r['blamed_src'])}"
+                 if r["msg_id"] is not None else "no arrival (wind-down)")
+        lines.append(
+            f"  {doc.label_of(r['track']):>16}  "
+            f"{r['start']:.0f}-{r['end']:.0f}  "
+            f"dur {r['duration']:.0f}  <- {blame}"
+        )
+    _emit(args, {"idle": rows}, "\n".join(lines))
+    return 0
+
+
+def cmd_hpm(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    _emit(args, {"hpm": doc.hpm}, format_hpm(doc.hpm))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    unit = _unit(doc)
+    payload: Dict[str, Any] = {
+        "artifact": doc.path,
+        "kind": doc.kind,
+        "label": doc.label,
+    }
+    sections = [f"== {doc.label or doc.path} ({doc.kind}, times in {unit}) =="]
+
+    rows = utilization_rows(doc)
+    payload["utilization"] = rows
+    sections += ["", "-- utilization --", _format_utilization(doc, unit)]
+    imb = load_imbalance(doc)
+    payload["imbalance"] = imb
+    if imb:
+        sections += ["", "-- load imbalance --", format_imbalance(imb, unit)]
+
+    if doc.kind == "trace":
+        profile = time_profile(doc.spans, bins=args.bins)
+        payload["time_profile"] = profile
+        sections += ["", "-- time profile --", format_time_profile(profile, unit)]
+
+    cp = critical_path_report(doc, top=args.top)
+    payload["critical_path"] = cp
+    sections += ["", "-- critical path --", format_critical_path(cp, unit)]
+
+    stats = message_report(doc)
+    payload["messages"] = stats
+    sections += ["", "-- messages --", format_messages(stats, unit)]
+
+    if doc.hpm:
+        payload["hpm"] = doc.hpm
+        sections += ["", "-- simulated HPM counters --", format_hpm(doc.hpm)]
+
+    _emit(args, payload, "\n".join(sections))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    base = load_manifest(args.baseline)
+    cand = load_manifest(args.candidate)
+    result = diff_manifests(
+        base,
+        cand,
+        rel_tol=args.rel_tol,
+        util_tol=args.util_tol,
+        critpath_tol=args.critpath_tol,
+    )
+    _emit(args, result, format_diff(result))
+    return 0 if result["ok"] else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Projections-style analysis over trace artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, fn, help: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help)
+        p.set_defaults(fn=fn)
+        p.add_argument("--format", choices=("text", "json"), default="text")
+        return p
+
+    p = add("analyze", cmd_analyze, "full report over one artifact")
+    p.add_argument("artifact")
+    p.add_argument("--bins", type=int, default=12)
+    p.add_argument("--top", type=int, default=10)
+
+    p = add("timeprofile", cmd_timeprofile, "stacked category time per interval")
+    p.add_argument("artifact")
+    p.add_argument("--bins", type=int, default=12)
+
+    p = add("utilization", cmd_utilization, "per-track busy/useful + balance")
+    p.add_argument("artifact")
+
+    p = add("critpath", cmd_critpath, "critical path through the message DAG")
+    p.add_argument("artifact")
+    p.add_argument("--top", type=int, default=10)
+
+    p = add("messages", cmd_messages, "message latency/size statistics")
+    p.add_argument("artifact")
+
+    p = add("idle", cmd_idle, "idle gaps blamed on the arrivals that ended them")
+    p.add_argument("artifact")
+    p.add_argument("--top", type=int, default=10)
+
+    p = add("hpm", cmd_hpm, "simulated per-node hardware counters")
+    p.add_argument("artifact")
+
+    p = add("diff", cmd_diff, "compare two manifests with tolerances")
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    p.add_argument("--rel-tol", type=float, default=0.10)
+    p.add_argument("--util-tol", type=float, default=0.05)
+    p.add_argument("--critpath-tol", type=float, default=0.10)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

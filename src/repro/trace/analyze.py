@@ -1,0 +1,403 @@
+"""Artifact loading and Projections-style report builders.
+
+The analysis half of ``python -m repro.trace``: load a ``.trace.json``
+(Chrome ``trace_event`` export) or ``.manifest.json`` artifact back
+into an analyzable form and produce the reports Projections would —
+time profile, utilization histogram, load-imbalance summary, critical
+path, message latency/size histograms.
+
+Every report builder returns a JSON-able dict; the ``format_*``
+companions render the same dict as an aligned text table, so the CLI's
+``--format json`` and text outputs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .core import Span, USEFUL_CATEGORIES
+from .provenance import (
+    critical_path,
+    critical_path_summary,
+    idle_attribution,
+    message_stats,
+)
+
+__all__ = [
+    "TraceDoc",
+    "load_artifact",
+    "time_profile",
+    "utilization_rows",
+    "utilization_histogram",
+    "load_imbalance",
+    "format_time_profile",
+    "format_histogram",
+    "format_imbalance",
+    "format_critical_path",
+    "format_messages",
+    "format_hpm",
+]
+
+
+@dataclass
+class TraceDoc:
+    """One loaded artifact (full trace or manifest)."""
+
+    kind: str  # "trace" | "manifest"
+    path: str
+    label: str = ""
+    time_unit: str = ""
+    spans: List[Span] = field(default_factory=list)
+    track_labels: Dict[int, str] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    provenance: List[List[Any]] = field(default_factory=list)
+    hpm: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: The raw manifest document (manifest artifacts only).
+    manifest: Optional[Dict[str, Any]] = None
+
+    def label_of(self, track: int) -> str:
+        return self.track_labels.get(track, f"pe{track}")
+
+    def tracks(self) -> List[int]:
+        return sorted({s.track for s in self.spans})
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for s in self.spans})
+
+    def time_span(self) -> Tuple[float, float]:
+        if not self.spans:
+            return (0.0, 0.0)
+        return (min(s.start for s in self.spans), max(s.end for s in self.spans))
+
+
+def load_artifact(path: str) -> TraceDoc:
+    """Load a ``.trace.json`` or ``.manifest.json`` artifact.
+
+    Chrome traces are recognized by their ``traceEvents`` key: complete
+    ("X") events become spans, thread-name metadata becomes track
+    labels, the final counter ("C") samples become counters, and the
+    ``provenance``/``hpm`` sections are carried through.  Any other
+    JSON object is treated as a run manifest.
+    """
+    with open(path) as fh:
+        raw = json.load(fh)
+    if "traceEvents" in raw:
+        doc = TraceDoc(kind="trace", path=path,
+                       label=str(raw.get("otherData", {}).get("label", "")),
+                       time_unit=str(raw.get("displayTimeUnit", "")))
+        for ev in raw["traceEvents"]:
+            ph = ev.get("ph")
+            if ph == "X":
+                t0 = float(ev["ts"])
+                doc.spans.append(
+                    Span(int(ev["tid"]), ev["name"], t0, t0 + float(ev["dur"]))
+                )
+            elif ph == "M" and ev.get("name") == "thread_name":
+                doc.track_labels[int(ev["tid"])] = ev["args"]["name"]
+            elif ph == "C":
+                doc.counters[ev["name"]] = float(ev["args"]["value"])
+        doc.provenance = [list(e) for e in raw.get("provenance", [])]
+        doc.hpm = raw.get("hpm", {})
+        return doc
+    doc = TraceDoc(kind="manifest", path=path,
+                   label=str(raw.get("label", "")),
+                   time_unit=str(raw.get("time_unit", "")),
+                   manifest=raw)
+    doc.counters = dict(raw.get("counters", {}))
+    doc.hpm = raw.get("hpm", {})
+    for row in raw.get("utilization", []):
+        if row.get("track", -1) >= 0:
+            doc.track_labels[int(row["track"])] = row.get("label", "")
+    return doc
+
+
+# -- reports ---------------------------------------------------------------
+
+def time_profile(spans: Sequence[Span], bins: int = 20) -> Dict[str, Any]:
+    """Stacked category time per interval (Projections "time profile").
+
+    The trace horizon is split into ``bins`` equal intervals; each
+    span's duration is apportioned to the intervals it overlaps.
+    """
+    if not spans:
+        return {"bins": [], "categories": [], "t0": 0.0, "t1": 0.0}
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    width = (t1 - t0) / bins if t1 > t0 else 1.0
+    cats = sorted({s.category for s in spans})
+    table: List[Dict[str, float]] = [dict.fromkeys(cats, 0.0) for _ in range(bins)]
+    for s in spans:
+        lo = int((s.start - t0) / width)
+        hi = int((s.end - t0) / width)
+        for b in range(max(lo, 0), min(hi, bins - 1) + 1):
+            b0 = t0 + b * width
+            b1 = b0 + width
+            overlap = min(s.end, b1) - max(s.start, b0)
+            if overlap > 0:
+                table[b][s.category] += overlap
+    return {
+        "t0": t0,
+        "t1": t1,
+        "bin_width": width,
+        "categories": cats,
+        "bins": [
+            {"t0": t0 + i * width, "t1": t0 + (i + 1) * width, "times": row}
+            for i, row in enumerate(table)
+        ],
+    }
+
+
+def utilization_rows(doc: TraceDoc) -> List[Dict[str, Any]]:
+    """Per-track busy/useful rows, from spans or the manifest."""
+    if doc.kind == "manifest":
+        return list(doc.manifest.get("utilization", []))
+    t0, t1 = doc.time_span()
+    horizon = t1 - t0
+    rows: List[Dict[str, Any]] = []
+    if horizon <= 0:
+        return rows
+    for track in doc.tracks():
+        cat_times: Dict[str, float] = {}
+        for s in doc.spans:
+            if s.track == track:
+                cat_times[s.category] = cat_times.get(s.category, 0.0) + s.duration
+        busy = sum(t for c, t in cat_times.items() if c != "idle")
+        useful = sum(t for c, t in cat_times.items() if c in USEFUL_CATEGORIES)
+        rows.append(
+            {
+                "track": track,
+                "label": doc.label_of(track),
+                "busy": busy / horizon,
+                "useful": useful / horizon,
+                "categories": cat_times,
+            }
+        )
+    return rows
+
+
+def utilization_histogram(doc: TraceDoc, bins: int = 10) -> Dict[str, Any]:
+    """Histogram of tracks by busy fraction (how balanced is the run)."""
+    rows = [r for r in utilization_rows(doc) if r.get("track", -1) >= 0]
+    counts = [0] * bins
+    for r in rows:
+        b = min(int(r["busy"] * bins), bins - 1)
+        counts[b] += 1
+    return {
+        "bins": [
+            {"lo": i / bins, "hi": (i + 1) / bins, "tracks": c}
+            for i, c in enumerate(counts)
+        ],
+        "ntracks": len(rows),
+    }
+
+
+def load_imbalance(doc: TraceDoc) -> List[Dict[str, Any]]:
+    """Per-category max/avg time across tracks (max/avg = imbalance)."""
+    rows = [r for r in utilization_rows(doc) if r.get("track", -1) >= 0]
+    cats: Dict[str, List[float]] = {}
+    for r in rows:
+        for c, t in r.get("categories", {}).items():
+            cats.setdefault(c, []).append(t)
+    ntracks = len(rows)
+    out = []
+    for c in sorted(cats):
+        vals = cats[c] + [0.0] * (ntracks - len(cats[c]))
+        avg = sum(vals) / len(vals) if vals else 0.0
+        mx = max(vals) if vals else 0.0
+        out.append(
+            {
+                "category": c,
+                "max": mx,
+                "avg": avg,
+                "imbalance": (mx / avg) if avg > 0 else 0.0,
+            }
+        )
+    return out
+
+
+def _histogram(values: Sequence[float], bins: int = 8) -> List[Dict[str, float]]:
+    if not values:
+        return []
+    lo, hi = min(values), max(values)
+    width = (hi - lo) / bins if hi > lo else 1.0
+    counts = [0] * bins
+    for v in values:
+        b = min(int((v - lo) / width), bins - 1)
+        counts[b] += 1
+    return [
+        {"lo": lo + i * width, "hi": lo + (i + 1) * width, "count": c}
+        for i, c in enumerate(counts)
+    ]
+
+
+def message_report(doc: TraceDoc, bins: int = 8) -> Dict[str, Any]:
+    """Message latency/size aggregates + histograms (trace artifacts)."""
+    if doc.kind == "manifest":
+        return dict(doc.manifest.get("messages", {}))
+    from .provenance import build_messages
+
+    stats = message_stats(doc.provenance)
+    msgs = build_messages(doc.provenance).values()
+    stats["latency_histogram"] = _histogram(
+        [m.latency for m in msgs if m.latency is not None], bins
+    )
+    stats["size_histogram"] = _histogram(
+        [float(m.nbytes) for m in msgs if m.sent is not None], bins
+    )
+    return stats
+
+
+def critical_path_report(doc: TraceDoc, top: int = 10) -> Dict[str, Any]:
+    """Critical-path summary + the top-k longest segments."""
+    if doc.kind == "manifest":
+        return {"summary": dict(doc.manifest.get("critical_path", {})), "top": []}
+    path = critical_path(doc.provenance, doc.spans)
+    summary = critical_path_summary(doc.provenance, doc.spans)
+    ranked = sorted(path, key=lambda s: s.duration, reverse=True)[:top]
+    return {
+        "summary": summary,
+        "path_segments": len(path),
+        "top": [
+            {
+                "kind": s.kind,
+                "track": s.track,
+                "label": doc.label_of(s.track),
+                "start": s.start,
+                "end": s.end,
+                "duration": s.duration,
+                "msg_id": list(s.msg_id),
+                "category": s.category,
+            }
+            for s in ranked
+        ],
+    }
+
+
+def idle_report(doc: TraceDoc, top: int = 10) -> List[Dict[str, Any]]:
+    """Longest idle gaps with the message each one waited for."""
+    if doc.kind == "manifest":
+        return []
+    rows = idle_attribution(doc.provenance, doc.spans)
+    rows.sort(key=lambda r: r["duration"], reverse=True)
+    return rows[:top]
+
+
+# -- text rendering --------------------------------------------------------
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_time_profile(profile: Dict[str, Any], unit: str = "") -> str:
+    cats = profile["categories"]
+    if not cats:
+        return "(no spans)"
+    headers = [f"interval ({unit})" if unit else "interval"] + cats
+    rows = []
+    for b in profile["bins"]:
+        rows.append(
+            [f"{b['t0']:.0f}-{b['t1']:.0f}"]
+            + [f"{b['times'].get(c, 0.0):.0f}" for c in cats]
+        )
+    return _table(headers, rows)
+
+
+def format_histogram(hist: Dict[str, Any]) -> str:
+    if not hist["bins"]:
+        return "(no tracks)"
+    rows = []
+    peak = max((b["tracks"] for b in hist["bins"]), default=1) or 1
+    for b in hist["bins"]:
+        bar = "#" * int(round(30 * b["tracks"] / peak))
+        rows.append(
+            [f"{b['lo'] * 100:.0f}-{b['hi'] * 100:.0f}%", str(b["tracks"]), bar]
+        )
+    return _table(["busy", "tracks", ""], rows)
+
+
+def format_imbalance(rows: List[Dict[str, Any]], unit: str = "") -> str:
+    if not rows:
+        return "(no category data)"
+    hdr_unit = f" ({unit})" if unit else ""
+    return _table(
+        ["category", f"max{hdr_unit}", f"avg{hdr_unit}", "max/avg"],
+        [
+            [r["category"], f"{r['max']:.0f}", f"{r['avg']:.0f}",
+             f"{r['imbalance']:.2f}"]
+            for r in rows
+        ],
+    )
+
+
+def format_critical_path(report: Dict[str, Any], unit: str = "") -> str:
+    s = report.get("summary", {})
+    lines = [
+        f"critical path: length={s.get('length', 0.0):.0f} {unit} over "
+        f"{s.get('nsegments', 0)} segments "
+        f"(exec {s.get('exec_time', 0.0):.0f}, xfer {s.get('xfer_time', 0.0):.0f})"
+    ]
+    top = report.get("top", [])
+    if top:
+        lines.append(
+            _table(
+                ["kind", "where", "msg", "category", f"start ({unit})", f"dur ({unit})"],
+                [
+                    [t["kind"], t["label"],
+                     f"({t['msg_id'][0]},{t['msg_id'][1]})",
+                     t["category"] or "-",
+                     f"{t['start']:.0f}", f"{t['duration']:.0f}"]
+                    for t in top
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_messages(stats: Dict[str, Any], unit: str = "") -> str:
+    if not stats:
+        return "(no provenance data)"
+    lat = stats.get("latency", {})
+    size = stats.get("size", {})
+    lines = [
+        f"messages: {stats.get('messages', 0)} stamped, "
+        f"{stats.get('executed', 0)} executed, {stats.get('bytes', 0):.0f} bytes",
+        f"latency ({unit}): min={lat.get('min', 0.0):.0f} "
+        f"mean={lat.get('mean', 0.0):.0f} p50={lat.get('p50', 0.0):.0f} "
+        f"max={lat.get('max', 0.0):.0f}",
+        f"size (bytes): min={size.get('min', 0.0):.0f} "
+        f"mean={size.get('mean', 0.0):.0f} p50={size.get('p50', 0.0):.0f} "
+        f"max={size.get('max', 0.0):.0f}",
+    ]
+    for name, key in (("latency", "latency_histogram"), ("size", "size_histogram")):
+        hist = stats.get(key)
+        if hist:
+            peak = max((b["count"] for b in hist), default=1) or 1
+            rows = [
+                [f"{b['lo']:.0f}-{b['hi']:.0f}", str(b["count"]),
+                 "#" * int(round(30 * b["count"] / peak))]
+                for b in hist
+            ]
+            lines.append(f"{name} histogram:")
+            lines.append(_table(["bucket", "msgs", ""], rows))
+    return "\n".join(lines)
+
+
+def format_hpm(hpm: Dict[str, Dict[str, float]]) -> str:
+    if not hpm:
+        return "(no HPM data)"
+    names = sorted({n for g in hpm.values() for n in g})
+    rows = []
+    for nid in sorted(hpm, key=lambda k: int(k)):
+        g = hpm[nid]
+        rows.append([f"node{nid}"] + [f"{g.get(n, 0):.0f}" for n in names])
+    return _table(["node"] + names, rows)

@@ -36,6 +36,7 @@ so it can be reused by the analytic-model harnesses as well.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -43,9 +44,22 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "Span",
     "Tracer",
+    "TracerProtocolError",
     "USEFUL_CATEGORIES",
     "OVERHEAD_CATEGORIES",
 ]
+
+
+class TracerProtocolError(RuntimeError):
+    """A span-protocol misuse caught under ``REPRO_SANITIZE=1``.
+
+    Raised when the flat :meth:`Tracer.begin` API preempts an activity
+    owned by an active :meth:`Tracer.span` context manager — the mix
+    that used to make the context-manager exit fabricate a resumed span
+    over time the track had explicitly relinquished, double-counting it
+    as busy.  Outside sanitized runs the tracer self-heals instead (the
+    preempted context manager skips its resume).
+    """
 
 #: Categories counted as "useful work" when computing utilization, as in
 #: the paper's "(total CPU utilization, useful work utilization)" labels.
@@ -102,12 +116,27 @@ class Tracer:
         self.spans: List[Span] = []
         #: Human-readable labels for non-PE tracks (comm threads...).
         self.track_labels: Dict[int, str] = {}
-        self._open: Dict[int, Tuple[str, float]] = {}
-        self._nest: Dict[int, List[str]] = {}
+        # Open activity per track: (category, start, owner).  owner is
+        # None for flat begin()s, or a per-span() token object so the
+        # context manager can tell on exit whether it still owns the
+        # track (see span() and TracerProtocolError).
+        self._open: Dict[int, Tuple[str, float, Optional[object]]] = {}
+        self._nest: Dict[int, List[List[Any]]] = {}
         self._finalizers: List[Any] = []
         #: Instant events ``(track, name, time)`` — e.g. fault-injection
         #: marks; rendered as Chrome-trace instants by the exporter.
         self.marks: List[Tuple[int, str, float]] = []
+        #: Causal message-provenance events, in record order (see
+        #: :meth:`msg_send`; schema in docs/TRACING.md).
+        self.provenance: List[Tuple[Any, ...]] = []
+        #: Simulated hardware-performance-monitor groups, one dict of
+        #: counters per node id; populated at finish() when the runtime
+        #: installed the HPM finalizer (``repro.trace.hpm``).
+        self.hpm: Dict[int, Dict[str, float]] = {}
+        # Same contract as the engine's REPRO_SANITIZE: sampled once at
+        # construction; strict mode turns span-protocol misuse into
+        # TracerProtocolError instead of self-healing.
+        self._strict = enabled and os.environ.get("REPRO_SANITIZE") == "1"
 
     # -- instant events ----------------------------------------------------
     def mark(self, track: int, name: str) -> None:
@@ -115,6 +144,43 @@ class Tracer:
         if not self.enabled:
             return
         self.marks.append((track, name, self.env.now))
+
+    # -- causal message provenance ----------------------------------------
+    # Every Converse message gets a monotonic (src_pe, seq) id stamped at
+    # send time (only when tracing — the id rides in host-side tuples, so
+    # stamping is cycle-neutral).  Three event kinds turn a trace into a
+    # dependency DAG (repro.trace.provenance builds it):
+    #
+    #   ("send", msg_id, src_track, dst_pe, nbytes, t)
+    #   ("recv", msg_id, dst_track, t)          # arrival at the dest PE queue
+    #   ("exec", msg_id, track, t0, t1)         # handler execution interval
+    #
+    # Retransmits re-deliver the same payload object, so a msg_id can
+    # legitimately appear in more than one recv event; analysis keeps the
+    # first.
+    #
+    # The per-message hot paths (converse/machine.py send/deliver,
+    # converse/scheduler.py execute) append these tuples to
+    # ``self.provenance`` directly after checking ``enabled`` — a method
+    # call per message event does not fit the <5% tracer overhead budget
+    # (benchmarks/test_trace_overhead.py).  Keep the schemas in sync.
+    def msg_send(self, msg_id: Any, track: int, dst: int, nbytes: int) -> None:
+        """Record the send edge of message ``msg_id`` from ``track``."""
+        if not self.enabled:
+            return
+        self.provenance.append(("send", msg_id, track, dst, nbytes, self.env.now))
+
+    def msg_recv(self, msg_id: Any, track: int) -> None:
+        """Record message arrival at the destination track's queue."""
+        if not self.enabled:
+            return
+        self.provenance.append(("recv", msg_id, track, self.env.now))
+
+    def msg_exec(self, msg_id: Any, track: int, start: float, end: float) -> None:
+        """Record the handler-execution interval for ``msg_id``."""
+        if not self.enabled:
+            return
+        self.provenance.append(("exec", msg_id, track, start, end))
 
     # -- counters ---------------------------------------------------------
     def count(self, name: str, n: float = 1, track: Optional[int] = None) -> None:
@@ -144,13 +210,23 @@ class Tracer:
         """Start activity ``category`` on ``track``, closing any open one."""
         if not self.enabled:
             return
+        self._begin(track, category, None)
+
+    def _begin(self, track: int, category: str, owner: Optional[object]) -> None:
         now = self.env.now
         prev = self._open.get(track)
         if prev is not None:
-            cat, t0 = prev
+            cat, t0, prev_owner = prev
+            if prev_owner is not None and owner is None and self._strict:
+                raise TracerProtocolError(
+                    f"begin({track}, {category!r}) preempts the "
+                    f"{cat!r} activity owned by an active span() context "
+                    "manager — use a nested span(), or end the context "
+                    "before switching to the flat API"
+                )
             if now > t0:
                 self.spans.append(Span(track, cat, t0, now))
-        self._open[track] = (category, now)
+        self._open[track] = (category, now, owner)
 
     def end(self, track: int) -> None:
         """Close the open activity on ``track`` (no-op if none)."""
@@ -158,7 +234,7 @@ class Tracer:
             return
         prev = self._open.pop(track, None)
         if prev is not None:
-            cat, t0 = prev
+            cat, t0, _ = prev
             now = self.env.now
             if now > t0:
                 self.spans.append(Span(track, cat, t0, now))
@@ -187,16 +263,33 @@ class Tracer:
             return
         prev = self._open.get(track)
         stack = self._nest.setdefault(track, [])
+        entry: Optional[List[Any]] = None
         if prev is not None:
-            stack.append(prev[0])
-        self.begin(track, category)
+            # Remember what to resume *and* who owned it, so a nested
+            # span() hands the track back to its enclosing span().
+            entry = [prev[0], prev[2]]
+            stack.append(entry)
+        owner = object()
+        self._begin(track, category, owner)
         try:
             yield
         finally:
-            if stack:
-                self.begin(track, stack.pop())
-            else:
-                self.end(track)
+            if entry is not None:
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i] is entry:
+                        del stack[i]
+                        break
+            cur = self._open.get(track)
+            if cur is not None and cur[2] is owner:
+                if entry is not None:
+                    self._begin(track, entry[0], entry[1])
+                else:
+                    self.end(track)
+            # else: a flat begin()/end() took the track away mid-span
+            # (raises under REPRO_SANITIZE=1, see _begin).  Self-heal by
+            # NOT resuming: the pre-fix code re-opened the suspended
+            # category here, fabricating busy time over an interval the
+            # track had already ended — the double-counting bug.
 
     def add_finalizer(self, fn: Any) -> None:
         """Register a zero-arg callable run by :meth:`finish`.

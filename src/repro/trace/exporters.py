@@ -30,6 +30,7 @@ import json
 from typing import Any, Dict, List, Optional
 
 from .core import Tracer, USEFUL_CATEGORIES
+from .provenance import build_messages, critical_path_summary, message_stats
 
 __all__ = [
     "to_chrome_trace",
@@ -80,7 +81,11 @@ def to_chrome_trace(
         }
     ]
     mark_tracks = {t for t, _, _ in tracer.marks}
-    for track in sorted(set(tracer.tracks()) | mark_tracks):
+    # Registered-but-unused tracks get names too: a PE that never ran a
+    # span still shows up as an (empty) named row instead of vanishing.
+    for track in sorted(
+        set(tracer.tracks()) | mark_tracks | set(tracer.track_labels)
+    ):
         events.append(
             {
                 "name": "thread_name",
@@ -118,6 +123,36 @@ def to_chrome_trace(
                 "s": "t",
             }
         )
+    # Message provenance: send->recv flow arrows on the timeline, so
+    # Perfetto draws the causal edge from the sending PE's row to the
+    # destination PE's row.
+    for m in build_messages(tracer.provenance).values():
+        if m.sent is None or m.recv is None or m.src_track is None:
+            continue
+        flow_id = f"{m.msg_id[0]}.{m.msg_id[1]}"
+        events.append(
+            {
+                "name": "msg",
+                "cat": "flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": m.sent * scale,
+                "pid": 0,
+                "tid": m.src_track,
+            }
+        )
+        events.append(
+            {
+                "name": "msg",
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": m.recv * scale,
+                "pid": 0,
+                "tid": m.dst if m.dst is not None else m.src_track,
+            }
+        )
     _, t1 = tracer.time_span()
     for name in sorted(tracer.counters):
         events.append(
@@ -130,11 +165,27 @@ def to_chrome_trace(
                 "args": {"value": tracer.counters[name]},
             }
         )
-    return {
+    doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": dict(metadata or {}),
     }
+    # Provenance events ride along (timestamps scaled like ts/dur) so
+    # the analysis CLI can rebuild the dependency DAG from the artifact.
+    if tracer.provenance:
+        prov = []
+        for ev in tracer.provenance:
+            ev = list(ev)
+            if ev[0] == "exec":
+                ev[3] *= scale
+                ev[4] *= scale
+            else:  # send/recv carry one trailing timestamp
+                ev[-1] *= scale
+            prov.append(ev)
+        doc["provenance"] = prov
+    if tracer.hpm:
+        doc["hpm"] = {str(nid): dict(g) for nid, g in sorted(tracer.hpm.items())}
+    return doc
 
 
 def write_chrome_trace(
@@ -222,6 +273,11 @@ def run_manifest(
 
     ``{"label", "time_unit", "span": [t0, t1], "counters": {...},
     "utilization": [row...], "useful_categories": [...], "meta": {...}}``
+
+    Traced runs with provenance/HPM data additionally carry
+    ``"messages"`` (latency/size aggregates), ``"critical_path"``
+    (length + segment counts) and ``"hpm"`` (per-node counter groups)
+    sections — the quantities the trace-diff gate compares.
     """
     t0, t1 = tracer.time_span()
     rows = utilization_summary(tracer)
@@ -229,7 +285,7 @@ def run_manifest(
         row["categories"] = {
             c: t * scale for c, t in row["categories"].items()
         }
-    return {
+    doc = {
         "label": label,
         "time_unit": time_unit,
         "span": [t0 * scale, t1 * scale],
@@ -238,6 +294,21 @@ def run_manifest(
         "useful_categories": sorted(USEFUL_CATEGORIES),
         "meta": dict(meta),
     }
+    if tracer.provenance:
+        stats = message_stats(tracer.provenance)
+        stats["latency"] = {
+            k: (v * scale if k != "count" else v)
+            for k, v in stats["latency"].items()
+        }
+        doc["messages"] = stats
+        cps = critical_path_summary(tracer.provenance, tracer.spans)
+        doc["critical_path"] = {
+            k: (v * scale if k in ("length", "exec_time", "xfer_time") else v)
+            for k, v in cps.items()
+        }
+    if tracer.hpm:
+        doc["hpm"] = {str(nid): dict(g) for nid, g in sorted(tracer.hpm.items())}
+    return doc
 
 
 def write_run_manifest(

@@ -1,0 +1,131 @@
+"""Simulated BG/Q hardware performance counters (HPM groups).
+
+Real BG/Q jobs read the Blue Gene Performance Monitoring unit (the
+``bgpm``/HPM APIs) to count L2 atomic operations, MU descriptor and
+packet traffic, FIFO depths and wakeup-unit interrupts.  This module is
+the reproduction's analogue: one counter *group* per simulated node,
+harvested at ``Tracer.finish()`` from the native statistics the
+components maintain anyway (the same always-on ints behind the
+``l2.atomic_ops`` / ``mu.*`` aggregate counters — see docs/TRACING.md,
+"Design: why tracing is cheap").
+
+Wiring: :func:`install_hpm` registers a finalizer on the tracer; the
+Converse runtime calls it from ``_wire_tracer`` so any traced run gets
+HPM groups for free.  Results land in two places:
+
+* ``tracer.hpm`` — ``{node_id: {counter: value}}``, the per-node groups
+  (exported in the run manifest's ``"hpm"`` section);
+* ``tracer.counters`` — machine-wide ``hpm.*`` totals (sums; ``*_hwm``
+  counters take the max over nodes), so the trace-diff gate covers them
+  with no extra plumbing.
+
+The counter catalogue (all per node; zero-valued counters are skipped):
+
+========================    ===================================================
+``l2.<op>``                 L2 atomic ops by type (``load``,
+                            ``load_increment``, ``load_increment_bounded``,
+                            ``store``, ``store_add``, ``store_or``,
+                            ``store_xor``, ``store_add_bound``)
+``l2.bounded_failed``       bounded load-increments that hit the bound
+                            (queue-full events, §III-A)
+``mu.descriptors``          descriptors processed by injection-FIFO engines
+``mu.packets_injected``     packets put on the wire
+``mu.packets_received``     packets that arrived at this node's MU
+``mu.ififo_occupancy_hwm``  max descriptors queued in any injection FIFO
+``mu.rfifo_occupancy_hwm``  max packets pending in any reception FIFO
+``wu.signals``              wakeup-unit watch-condition signals (rfifos)
+``wu.wakeups``              wakeup deliveries to sleeping/polling threads
+``wu.latched``              signals that arrived with no armed waiter and
+                            fired the next ``arm`` immediately (the
+                            lost-wakeup race the latch absorbs)
+``commthread.interrupts``   comm-thread wakeup interrupts taken
+``commthread.rounds``       comm-thread context-advance rounds
+========================    ===================================================
+
+Machine-wide (no node attribution): ``hpm.torus.routes`` and
+``hpm.torus.hops`` — routing decisions and total link hops computed by
+the dimension-ordered router.
+
+This module imports nothing from ``repro.converse`` — the runtime is
+duck-typed (needs ``.machine`` and ``.processes``), keeping ``repro.trace``
+free of upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .core import Tracer
+
+__all__ = ["collect_hpm", "install_hpm"]
+
+
+def _node_group(node: Any) -> Dict[str, float]:
+    group: Dict[str, float] = {}
+    l2 = node.l2
+    for op, n in sorted(l2.op_counts.items()):
+        group[f"l2.{op}"] = n
+    if l2.bounded_failed:
+        group["l2.bounded_failed"] = l2.bounded_failed
+    mu = node.mu
+    group["mu.descriptors"] = mu.descriptors_processed
+    group["mu.packets_injected"] = mu.packets_injected
+    group["mu.packets_received"] = mu.packets_received
+    group["mu.ififo_occupancy_hwm"] = max(
+        (f.occupancy_hwm for f in mu._injection), default=0
+    )
+    group["mu.rfifo_occupancy_hwm"] = max(
+        (f.occupancy_hwm for f in mu._reception), default=0
+    )
+    group["wu.signals"] = sum(f.wakeup.signals for f in mu._reception)
+    group["wu.wakeups"] = sum(f.wakeup.wakeups for f in mu._reception)
+    group["wu.latched"] = sum(f.wakeup.latched_fires for f in mu._reception)
+    return {k: v for k, v in group.items() if v}
+
+
+def collect_hpm(runtime: Any) -> Dict[int, Dict[str, float]]:
+    """Per-node HPM counter groups for a (duck-typed) Converse runtime."""
+    groups: Dict[int, Dict[str, float]] = {}
+    for node in runtime.machine.nodes:
+        groups[node.node_id] = _node_group(node)
+    for proc in runtime.processes:
+        nid = proc.node.node_id
+        group = groups[nid]
+        for ct in proc.comm_threads:
+            group["commthread.interrupts"] = (
+                group.get("commthread.interrupts", 0) + ct.wakeup_count
+            )
+            group["commthread.rounds"] = (
+                group.get("commthread.rounds", 0) + ct.advance_rounds
+            )
+    return groups
+
+
+def install_hpm(tracer: Tracer, runtime: Any) -> None:
+    """Register the HPM finalizer on ``tracer`` for ``runtime``.
+
+    At ``finish()`` the finalizer (re)assigns ``tracer.hpm`` and the
+    ``hpm.*`` totals in ``tracer.counters`` — assignment, not addition,
+    so finish() stays idempotent.
+    """
+
+    def harvest() -> None:
+        groups = collect_hpm(runtime)
+        tracer.hpm = groups
+        totals: Dict[str, float] = {}
+        for group in groups.values():
+            for name, value in group.items():
+                if name.endswith("_hwm"):
+                    totals[name] = max(totals.get(name, 0), value)
+                else:
+                    totals[name] = totals.get(name, 0) + value
+        torus = runtime.machine.torus
+        if torus.routes_computed:
+            totals["torus.routes"] = torus.routes_computed
+        if torus.hops_routed:
+            totals["torus.hops"] = torus.hops_routed
+        for name, value in totals.items():
+            if value:
+                tracer.counters[f"hpm.{name}"] = value
+
+    tracer.add_finalizer(harvest)

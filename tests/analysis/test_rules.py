@@ -99,3 +99,54 @@ def test_f1_inert_on_fixture_dir_by_default():
     """The default config keeps F1 out of the shared fixture harness."""
     violations = _analyze(FIXTURES / "f1_bad.py")
     assert violations == [], [v.format() for v in violations]
+
+
+# -- T1: tracer calls in hot-path modules must be None-guarded -------------
+#
+# T1 is path-scoped like F1 (it applies inside the configured
+# trace-hot-paths), so its fixture pair is mapped into scope explicitly.
+
+
+def _analyze_t1(filename):
+    from repro.analysis.config import Config
+
+    cfg = Config(trace_hot_paths=("t1_bad.py", "t1_good.py"))
+    analyzer = Analyzer(FIXTURES, default_rules(cfg), baseline=None)
+    return analyzer.analyze_file(FIXTURES / filename).violations
+
+
+def test_t1_fires_on_unguarded_tracer_calls():
+    violations = _analyze_t1("t1_bad.py")
+    assert {v.rule for v in violations} == {"T1"}
+    # rec.begin + self.tracer.count + else-branch begin + tr.mark
+    assert len(violations) == 4
+
+
+def test_t1_silent_on_guarded_calls():
+    violations = _analyze_t1("t1_good.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_t1_scoped_to_hot_paths():
+    """T1 covers the runtime tree but not the trace package itself."""
+    from repro.analysis.config import load_config
+
+    rules = default_rules(load_config(Path(__file__).parents[2]))
+    t1 = next(r for r in rules if r.id == "T1")
+    assert t1.applies_to("src/repro/converse/machine.py")
+    assert t1.applies_to("src/repro/pami/commthread.py")
+    assert t1.applies_to("src/repro/bgq/mu.py")
+    assert not t1.applies_to("src/repro/trace/core.py")
+    assert not t1.applies_to("src/repro/harness/timelines.py")
+
+
+def test_t1_clean_on_the_runtime_tree():
+    """The shipped hot paths satisfy their own contract (self-check)."""
+    from repro.analysis.config import load_config
+
+    root = Path(__file__).parents[2]
+    cfg = load_config(root)
+    analyzer = Analyzer(root, default_rules(cfg), baseline=None)
+    result = analyzer.run(cfg.trace_hot_paths, exclude=cfg.exclude)
+    t1 = [v for v in result.violations if v.rule == "T1"]
+    assert t1 == [], [v.format() for v in t1]

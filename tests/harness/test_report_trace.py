@@ -1,0 +1,91 @@
+"""Report rendering of manifest trace/HPM sections (with and without)."""
+
+import pytest
+
+from repro.harness.report import format_manifest, format_trace_summary
+
+
+def _plain_manifest():
+    return {
+        "label": "plain",
+        "time_unit": "us",
+        "span": [0.0, 100.0],
+        "counters": {"converse.msgs_sent": 4},
+        "utilization": [
+            {"track": 0, "label": "pe0", "busy": 0.8, "useful": 0.6},
+        ],
+    }
+
+
+def _traced_manifest():
+    doc = _plain_manifest()
+    doc["label"] = "traced"
+    doc["messages"] = {
+        "messages": 25, "executed": 25, "bytes": 4096,
+        "latency": {"count": 20, "min": 1.0, "mean": 2.5, "p50": 2.0, "max": 6.0},
+        "size": {"count": 25, "min": 0.0, "mean": 163.8, "p50": 128.0, "max": 512.0},
+    }
+    doc["critical_path"] = {
+        "length": 90.0, "nsegments": 12, "exec_time": 60.0, "xfer_time": 10.0,
+    }
+    doc["hpm"] = {
+        "0": {"mu.descriptors": 48, "l2.store_add": 10,
+              "l2.load_increment_bounded": 30, "wu.wakeups": 7,
+              "commthread.interrupts": 5},
+        "1": {"mu.descriptors": 56, "wu.wakeups": 9},
+    }
+    return doc
+
+
+def test_summary_empty_without_trace_sections():
+    assert format_trace_summary(_plain_manifest()) == ""
+    # And format_manifest stays exactly the pre-trace rendering: no
+    # dangling blank line or summary header appears.
+    text = format_manifest(_plain_manifest())
+    assert "messages:" not in text
+    assert "critical path" not in text
+    assert "hpm" not in text
+    assert not text.endswith("\n")
+
+
+def test_summary_renders_all_sections():
+    text = format_trace_summary(_traced_manifest())
+    lines = text.splitlines()
+    assert lines[0] == (
+        "messages: 25 stamped, 25 executed, 4,096 bytes, "
+        "latency mean 2.5 max 6.0 us"
+    )
+    assert lines[1] == (
+        "critical path: 90.0 us over 12 segments (exec 60.0, xfer 10.0)"
+    )
+    assert lines[2] == (
+        "hpm node0: 48 MU descriptors, 40 L2 atomic ops, 7 WU wakeups, "
+        "5 comm-thread interrupts"
+    )
+    assert lines[3] == (
+        "hpm node1: 56 MU descriptors, 0 L2 atomic ops, 9 WU wakeups, "
+        "0 comm-thread interrupts"
+    )
+
+
+def test_format_manifest_appends_trace_summary():
+    text = format_manifest(_traced_manifest())
+    assert "pe0" in text  # utilization table still leads
+    assert "messages: 25 stamped" in text
+    assert "critical path: 90.0 us" in text
+    assert "hpm node0" in text
+
+
+@pytest.mark.slow
+def test_format_manifest_from_real_traced_run():
+    """End-to-end: a traced run's manifest renders every section."""
+    from repro.harness.timelines import run_traced_namd
+
+    result = run_traced_namd(
+        "report-unit", n_atoms=128, nnodes=2, workers=2, comm_threads=1,
+        n_steps=2, seed=3,
+    )
+    text = format_manifest(result.manifest())
+    assert "messages:" in text and "stamped" in text
+    assert "critical path:" in text
+    assert "hpm node0" in text and "hpm node1" in text

@@ -1,0 +1,117 @@
+"""Trace-diff engine: tolerances, violation reporting, manifest loading."""
+
+import json
+
+import pytest
+
+pytestmark = pytest.mark.trace
+
+from repro.trace.diff import diff_manifests, format_diff, load_manifest
+
+
+def _manifest(**over):
+    doc = {
+        "label": "base",
+        "time_unit": "us",
+        "counters": {
+            "converse.msgs_sent": 100.0,
+            "hpm.mu.descriptors": 40.0,
+            "hpm.mu.rfifo_occupancy_hwm": 10.0,
+        },
+        "utilization": [
+            {"track": 0, "label": "pe0", "busy": 0.80, "useful": 0.60},
+            {"track": -1, "label": "all", "busy": 0.50, "useful": 0.30},
+        ],
+        "critical_path": {"length": 1000.0, "nsegments": 20,
+                          "exec_time": 700.0, "xfer_time": 100.0},
+    }
+    doc.update(over)
+    return doc
+
+
+def test_identical_manifests_pass():
+    result = diff_manifests(_manifest(), _manifest())
+    assert result["ok"]
+    assert result["violations"] == []
+    assert result["checked"]["counters"] == 3
+    assert "OK" in format_diff(result)
+
+
+def test_counter_within_tolerance_passes():
+    cand = _manifest()
+    cand["counters"]["converse.msgs_sent"] = 105.0  # 5% < 10%
+    assert diff_manifests(_manifest(), cand)["ok"]
+
+
+def test_counter_outside_tolerance_fails():
+    cand = _manifest()
+    cand["counters"]["converse.msgs_sent"] = 150.0  # 33% > 10%
+    result = diff_manifests(_manifest(), cand)
+    assert not result["ok"]
+    (v,) = result["violations"]
+    assert v["check"] == "counter" and v["key"] == "converse.msgs_sent"
+    assert "FAIL" in format_diff(result)
+
+
+def test_missing_counter_is_a_violation():
+    cand = _manifest()
+    del cand["counters"]["hpm.mu.descriptors"]
+    result = diff_manifests(_manifest(), cand)
+    assert not result["ok"]
+    assert result["violations"][0]["why"] == "present on only one side"
+
+
+def test_hwm_counters_get_looser_default_tolerance():
+    cand = _manifest()
+    # 40% drift on a high-water mark: inside its 0.5 default tolerance.
+    cand["counters"]["hpm.mu.rfifo_occupancy_hwm"] = 14.0
+    assert diff_manifests(_manifest(), cand)["ok"]
+    # The same drift on an ordinary counter fails.
+    cand2 = _manifest()
+    cand2["counters"]["hpm.mu.descriptors"] = 56.0
+    assert not diff_manifests(_manifest(), cand2)["ok"]
+
+
+def test_per_counter_tolerance_override():
+    cand = _manifest()
+    cand["counters"]["converse.msgs_sent"] = 150.0
+    result = diff_manifests(
+        _manifest(), cand, counter_tols={"converse.msgs_sent": 0.6}
+    )
+    assert result["ok"]
+
+
+def test_utilization_delta_checked_absolutely():
+    cand = _manifest()
+    cand["utilization"][0]["busy"] = 0.84  # +0.04 < 0.05
+    assert diff_manifests(_manifest(), cand)["ok"]
+    cand["utilization"][0]["busy"] = 0.90  # +0.10 > 0.05
+    result = diff_manifests(_manifest(), cand)
+    assert not result["ok"]
+    assert result["violations"][0]["key"] == "pe0.busy"
+
+
+def test_critical_path_length_drift_fails():
+    cand = _manifest()
+    cand["critical_path"] = dict(cand["critical_path"], length=1300.0)
+    result = diff_manifests(_manifest(), cand)
+    assert not result["ok"]
+    assert result["violations"][0]["check"] == "critical_path"
+
+
+def test_segment_count_drift_is_informational():
+    cand = _manifest()
+    cand["critical_path"] = dict(cand["critical_path"], nsegments=25)
+    result = diff_manifests(_manifest(), cand)
+    assert result["ok"]
+    assert result["info"][0]["key"] == "nsegments"
+
+
+def test_load_manifest_rejects_chrome_traces(tmp_path):
+    p = tmp_path / "x.trace.json"
+    p.write_text(json.dumps({"traceEvents": []}))
+    with pytest.raises(ValueError, match="Chrome trace"):
+        load_manifest(str(p))
+    m = tmp_path / "m.manifest.json"
+    m.write_text(json.dumps(_manifest()))
+    assert load_manifest(str(m))["label"] == "base"

@@ -1,0 +1,175 @@
+"""Simulated HPM counter groups: collection, totals, end-to-end wiring."""
+
+import pytest
+
+pytestmark = pytest.mark.trace
+
+from repro.trace import Tracer
+from repro.trace.hpm import collect_hpm, install_hpm
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+# -- duck-typed stand-ins matching the attributes hpm.py harvests ----------
+
+class FakeL2:
+    def __init__(self, ops, bounded_failed=0):
+        self.op_counts = ops
+        self.bounded_failed = bounded_failed
+
+
+class FakeWakeup:
+    def __init__(self, signals=0, wakeups=0, latched=0):
+        self.signals = signals
+        self.wakeups = wakeups
+        self.latched_fires = latched
+
+
+class FakeFifo:
+    def __init__(self, hwm, wakeup=None):
+        self.occupancy_hwm = hwm
+        self.wakeup = wakeup or FakeWakeup()
+
+
+class FakeMU:
+    def __init__(self, descriptors, injected, received, ififos, rfifos):
+        self.descriptors_processed = descriptors
+        self.packets_injected = injected
+        self.packets_received = received
+        self._injection = ififos
+        self._reception = rfifos
+
+
+class FakeNode:
+    def __init__(self, node_id, l2, mu):
+        self.node_id = node_id
+        self.l2 = l2
+        self.mu = mu
+
+
+class FakeCommThread:
+    def __init__(self, wakeups, rounds):
+        self.wakeup_count = wakeups
+        self.advance_rounds = rounds
+
+
+class FakeProcess:
+    def __init__(self, node, comm_threads):
+        self.node = node
+        self.comm_threads = comm_threads
+
+
+class FakeTorus:
+    def __init__(self, routes, hops):
+        self.routes_computed = routes
+        self.hops_routed = hops
+
+
+class FakeMachine:
+    def __init__(self, nodes, torus):
+        self.nodes = nodes
+        self.torus = torus
+
+
+class FakeRuntime:
+    def __init__(self, machine, processes):
+        self.machine = machine
+        self.processes = processes
+
+
+@pytest.fixture
+def runtime():
+    n0 = FakeNode(
+        0,
+        FakeL2({"load_increment_bounded": 40, "store_add": 10}, bounded_failed=3),
+        FakeMU(
+            descriptors=20, injected=25, received=30,
+            ififos=[FakeFifo(4), FakeFifo(7)],
+            rfifos=[FakeFifo(2, FakeWakeup(signals=9, wakeups=5, latched=1))],
+        ),
+    )
+    n1 = FakeNode(
+        1,
+        FakeL2({"store_add": 6}),
+        FakeMU(
+            descriptors=8, injected=9, received=11,
+            ififos=[FakeFifo(2)],
+            rfifos=[FakeFifo(5, FakeWakeup(signals=3, wakeups=3))],
+        ),
+    )
+    return FakeRuntime(
+        FakeMachine([n0, n1], FakeTorus(routes=100, hops=250)),
+        [
+            FakeProcess(n0, [FakeCommThread(wakeups=12, rounds=40)]),
+            FakeProcess(n1, [FakeCommThread(wakeups=7, rounds=22),
+                             FakeCommThread(wakeups=1, rounds=5)]),
+        ],
+    )
+
+
+def test_collect_hpm_groups_per_node(runtime):
+    groups = collect_hpm(runtime)
+    assert set(groups) == {0, 1}
+    g0 = groups[0]
+    assert g0["l2.load_increment_bounded"] == 40
+    assert g0["l2.bounded_failed"] == 3
+    assert g0["mu.descriptors"] == 20
+    assert g0["mu.ififo_occupancy_hwm"] == 7  # max over the node's ififos
+    assert g0["wu.signals"] == 9 and g0["wu.latched"] == 1
+    assert g0["commthread.interrupts"] == 12
+    assert g0["commthread.rounds"] == 40
+    g1 = groups[1]
+    # Two comm threads on node 1 sum into one group.
+    assert g1["commthread.interrupts"] == 8
+    assert g1["commthread.rounds"] == 27
+    # Zero-valued counters are skipped, not reported as 0.
+    assert "l2.bounded_failed" not in g1
+    assert "wu.latched" not in g1
+
+
+def test_install_hpm_totals_into_counters(runtime):
+    tr = Tracer(Clock())
+    install_hpm(tr, runtime)
+    tr.finish()
+    assert tr.hpm == collect_hpm(runtime)
+    # Sums across nodes...
+    assert tr.counters["hpm.mu.descriptors"] == 28
+    assert tr.counters["hpm.l2.store_add"] == 16
+    assert tr.counters["hpm.commthread.interrupts"] == 20
+    # ...except high-water marks, which take the max.
+    assert tr.counters["hpm.mu.ififo_occupancy_hwm"] == 7
+    assert tr.counters["hpm.mu.rfifo_occupancy_hwm"] == 5
+    # Machine-wide torus counters ride along.
+    assert tr.counters["hpm.torus.routes"] == 100
+    assert tr.counters["hpm.torus.hops"] == 250
+
+
+def test_finish_is_idempotent(runtime):
+    tr = Tracer(Clock())
+    install_hpm(tr, runtime)
+    tr.finish()
+    first = dict(tr.counters)
+    tr.finish()
+    assert tr.counters == first  # assignment, not accumulation
+
+
+def test_traced_run_harvests_hpm():
+    """End-to-end: a real traced NAMD run yields per-node HPM groups."""
+    from repro.harness.timelines import run_traced_namd
+
+    result = run_traced_namd(
+        "hpm-unit", n_atoms=128, nnodes=2, workers=2, comm_threads=1,
+        n_steps=2, seed=3,
+    )
+    tr = result.tracer
+    assert set(tr.hpm) == {0, 1}
+    for group in tr.hpm.values():
+        assert group.get("mu.descriptors", 0) > 0
+        assert group.get("commthread.rounds", 0) > 0
+    assert tr.counters["hpm.torus.routes"] > 0
+    assert tr.counters["hpm.mu.descriptors"] == sum(
+        g["mu.descriptors"] for g in tr.hpm.values()
+    )
