@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos
+.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate
 
 tier1: test bench-gate trace-gate lint  ## full tier-1 flow: tests + gates + lint
 
@@ -17,6 +17,12 @@ bench-gate:      ## hot-path benchmark gate: writes the next BENCH_NNNN.json at 
                  ## repo root and exits nonzero on >10% events/sec regression or any
                  ## simulated-time checksum drift vs the prior record (EXPERIMENTS.md)
 	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main())"
+
+shard-gate:      ## sharded-vs-serial equivalence gate: every gated benchmark must
+                 ## produce bit-identical simulated times on the sharded PDES engine
+                 ## (shards 1/2/4 + the subprocess transport) and the serial engine
+                 ## (docs/SCALING.md)
+	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main(['--shard-gate']))"
 
 chaos:           ## chaos suite: pingpong + m2m under seeded fault profiles with
                  ## the checked DES engine; asserts bit-correct payloads and

@@ -75,8 +75,6 @@ class CoreMember:
 class Core:
     """One A2 core: a weighted-processor-sharing issue resource."""
 
-    _ids = itertools.count()
-
     def __init__(
         self,
         env: Environment,
@@ -86,6 +84,10 @@ class Core:
         self.env = env
         self.core_id = core_id
         self.params = params
+        # Member ids are per-core (not a class-level counter): ids only
+        # key this core's membership dict, and a shared counter would
+        # leak state between concurrent environments in one process.
+        self._ids = itertools.count()
         self._members: Dict[int, CoreMember] = {}
         self._change: Event = env.event()
         self.instructions_retired = 0.0

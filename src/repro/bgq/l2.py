@@ -20,6 +20,7 @@ the L2 slice serializes them in hardware.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -60,6 +61,13 @@ class L2AtomicUnit:
         # failures — the "queue full / queue empty" events of §III-A.
         self.op_counts: Dict[str, int] = {}
         self.bounded_failed = 0
+        #: Source for auto-generated queue names (L2AtomicQueue with no
+        #: explicit name).  Per-unit, not a module global: names only
+        #: need to be unique within one unit's counter namespace, and a
+        #: global counter would make names depend on how many unrelated
+        #: environments ran earlier in the process (sharded SPMD runs
+        #: build several in one interpreter).
+        self.anon_queue_ids = itertools.count()
 
     # -- allocation ----------------------------------------------------
     def allocate(self, name: str, value: int = 0, bound: Optional[int] = None) -> L2Counter:

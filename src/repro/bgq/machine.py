@@ -28,7 +28,14 @@ class BGQMachine:
         params: BGQParams = DEFAULT_PARAMS,
         shape: Optional[Sequence[int]] = None,
         routing: str = "deterministic",
+        local_nodes: Optional[set] = None,
+        network_factory=None,
     ) -> None:
+        """``local_nodes`` (sharded runs, repro.bgq.shardnet): build only
+        those node ids, leaving ``None`` placeholders elsewhere so global
+        node ids keep indexing ``nodes``.  ``network_factory(env, torus,
+        params, deliver)`` overrides the network construction (the
+        sharded machine substitutes a request-buffering network)."""
         self.env = env
         self.params = params
         self.torus = Torus(shape if shape is not None else bgq_partition_shape(nnodes))
@@ -37,11 +44,20 @@ class BGQMachine:
                 f"shape {self.torus.shape} has {self.torus.nnodes} nodes, "
                 f"expected {nnodes}"
             )
-        self.network = TorusNetwork(
-            env, self.torus, params, deliver=self._deliver, routing=routing
+        if network_factory is not None:
+            self.network = network_factory(env, self.torus, params, self._deliver)
+        else:
+            self.network = TorusNetwork(
+                env, self.torus, params, deliver=self._deliver, routing=routing
+            )
+        self.local_node_ids = (
+            set(range(nnodes)) if local_nodes is None else set(local_nodes)
         )
-        self.nodes: List[Node] = []
+        self.nodes: List[Optional[Node]] = []
         for i in range(nnodes):
+            if i not in self.local_node_ids:
+                self.nodes.append(None)
+                continue
             node = Node(env, node_id=i, params=params)
             node.mu.network = self.network
             self.nodes.append(node)
@@ -51,7 +67,8 @@ class BGQMachine:
         every choke point (network links + each node's reception FIFOs)."""
         self.network.fault = injector
         for node in self.nodes:
-            node.mu.fault = injector
+            if node is not None:
+                node.mu.fault = injector
 
     def _deliver(self, packet: Packet) -> None:
         self.nodes[packet.dst].mu.receive_packet(packet)

@@ -9,9 +9,10 @@ Packets use *cut-through* switching: a packet occupies each link on its
 route for its serialization time, with reservations pipelined one hop
 latency apart.  We model each directed link as a busy-until timeline
 (no per-byte events), which captures both serialization and link
-contention at a cost of O(hops) per packet — cheap enough to simulate
-the node counts the DES benchmarks use, while the analytic
-:mod:`repro.perfmodel` covers the paper's largest runs.
+contention at a cost of O(hops) per packet — cheap enough that the
+sharded engine (docs/SCALING.md) simulates the paper's 128-512 node
+partitions for real, with :mod:`repro.perfmodel` cross-validated
+against it at that scale.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
-from ..sim import Environment, Event
+from ..sim import Environment, Event, Timeout
 from .params import BGQParams, DEFAULT_PARAMS
 from .torus import Torus
 
@@ -82,6 +83,24 @@ class TorusNetwork:
         self.routing = routing
         #: busy-until time per directed link
         self._link_free: Dict[Tuple[int, int], float] = {}
+        #: Injects of the current timestamp, awaiting the canonical-order
+        #: reservation flush (see :meth:`_flush_reservations`).  The
+        #: first request of a timestamp is held in the ``_f_*`` scalar
+        #: slots (no tuple allocation — almost every flush is a
+        #: singleton, and the extra garbage would trigger gen-0 GC
+        #: passes over the whole simulation graph); only simultaneous
+        #: followers spill into ``_deferred``.
+        self._deferred: list = []
+        self._flush_armed = False
+        self._f_node = 0
+        self._f_n = 0
+        self._f_packet: Optional[Packet] = None
+        self._f_done: Optional[Event] = None
+        self._f_route = None
+        self._f_action = None
+        #: Per-source-node inject counter — the tie-break that orders
+        #: simultaneous reservations.
+        self._node_inject_seq: Dict[int, int] = {}
         self.packets_sent = 0
         self.bytes_sent = 0
         #: Optional :class:`~repro.faults.injector.FaultInjector`; when
@@ -128,33 +147,100 @@ class TorusNetwork:
 
             env.process(loop(), name=f"pkt-loopback-{packet.src}")
             return done
+        return self._inject_routed(packet, done)
 
+    def reserve_route(self, route, ser: float, t_inject: float) -> Tuple[float, float]:
+        """Run the cut-through reservation for one packet; returns
+        ``(arrival, stall)`` and updates the link busy-until timeline.
+
+        The head advances one hop_latency per link; each link is busy
+        for the serialization time starting when the head reaches it (or
+        when the link frees, if later — upstream then stalls, which we
+        conservatively roll into the arrival time).  Extracted so the
+        sharded engine's reservation fabric (repro.bgq.shardnet) runs
+        the *identical* arithmetic, in the identical float-op order, at
+        the window barrier.
+        """
+        p = self.params
+        t_head = t_inject + p.nic_latency
+        stall = 0.0
+        link_free = self._link_free
+        for link in route:
+            free_at = link_free.get(link, 0.0)
+            start = max(t_head, free_at)
+            stall += start - t_head
+            link_free[link] = start + ser
+            t_head = start + p.hop_latency
+        arrival = t_head + ser
+        return arrival, stall
+
+    def _inject_routed(self, packet: Packet, done: Event) -> Event:
+        """Route + reserve + deliver one non-loopback packet.
+
+        Reservations are *not* made at the call: all injects of the
+        current timestamp are buffered and flushed once every event at
+        this simulated time has executed, sorted by
+        ``(src_node, per-node inject counter)``.  Simultaneous injects
+        from different nodes therefore contend for links in a canonical
+        order that depends only on the traffic, not on the event heap's
+        interleaving — which is what lets the sharded engine
+        (repro.bgq.shardnet) replay the identical reservation sequence
+        from per-shard state alone.  Routing and fault decisions stay at
+        the call (they consume ordered counters/RNG draws).
+
+        Overridden by the sharded network, which buffers the request
+        for barrier-time reservation instead.
+        """
+        env = self.env
         route = self.torus.route(packet.src, packet.dst, dim_order=self._dim_order())
         fault = self.fault
         action = fault.on_route(packet, route) if fault is not None else None
+        node = packet.src
+        n = self._node_inject_seq.get(node, 0)
+        self._node_inject_seq[node] = n + 1
+        if not self._flush_armed:
+            self._flush_armed = True
+            self._f_node = node
+            self._f_n = n
+            self._f_packet = packet
+            self._f_done = done
+            self._f_route = route
+            self._f_action = action
+            # A zero timeout runs after every event already scheduled at
+            # this timestamp — i.e. after all simultaneous injects.
+            to = Timeout(env, 0.0)
+            to.callbacks = [self._flush_reservations]
+        else:
+            self._deferred.append((node, n, packet, done, route, action))
+        return done
+
+    def _flush_reservations(self, _event: Event) -> None:
+        """Reserve this timestamp's deferred injects in canonical order."""
+        self._flush_armed = False
+        packet, done = self._f_packet, self._f_done
+        route, action = self._f_route, self._f_action
+        self._f_packet = self._f_done = self._f_route = self._f_action = None
+        if not self._deferred:
+            self._launch(packet, done, route, action)
+            return
+        batch, self._deferred = self._deferred, []
+        batch.append((self._f_node, self._f_n, packet, done, route, action))
+        batch.sort(key=lambda r: (r[0], r[1]))
+        for _node, _n, packet, done, route, action in batch:
+            self._launch(packet, done, route, action)
+
+    def _launch(self, packet: Packet, done: Event, route, action) -> None:
+        """Reserve the route and start the packet's flight."""
+        env = self.env
         ser = self._serialization(packet)
-        p = self.params
-        # Cut-through reservation: the head advances one hop_latency per
-        # link; each link is busy for the serialization time starting
-        # when the head reaches it (or when the link frees, if later —
-        # upstream then stalls, which we conservatively roll into the
-        # arrival time).
-        t_head = env.now + p.nic_latency
-        stall = 0.0
-        for link in route:
-            free_at = self._link_free.get(link, 0.0)
-            start = max(t_head, free_at)
-            stall += start - t_head
-            self._link_free[link] = start + ser
-            t_head = start + p.hop_latency
-        arrival = t_head + ser
+        arrival, stall = self.reserve_route(route, ser, env.now)
 
         if action is not None:
             if action.drop:
                 # Lost in flight: links were still occupied up to the
                 # loss point (we conservatively charge the full route),
                 # but the packet never arrives and ``done`` never fires.
-                return done
+                return
             arrival += action.extra_delay
             if action.dup_gap is not None:
                 dup_at = arrival + action.dup_gap
@@ -175,7 +261,6 @@ class TorusNetwork:
             done.succeed(packet)
 
         env.process(fly(), name=f"pkt-{packet.src}->{packet.dst}")
-        return done
 
     def link_utilization(self) -> Dict[Tuple[int, int], float]:
         """Busy-until horizon per link (diagnostics)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Union
 
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
@@ -33,11 +34,12 @@ class Charm:
         config: RunConfig,
         params: BGQParams = DEFAULT_PARAMS,
         env: Optional[Environment] = None,
+        machine=None,
     ) -> None:
         self.env = env or Environment()
         self.params = params
         self.config = config
-        self.runtime = ConverseRuntime(self.env, config, params)
+        self.runtime = ConverseRuntime(self.env, config, params, machine=machine)
         self.cmidirect = CmiDirectManytomany(self.runtime)
         self.arrays: Dict[str, ChareArray] = {}
         self.reductions = ReductionManager(self)
@@ -47,6 +49,11 @@ class Charm:
         self._section_hid: Optional[int] = None
         self.done: Event = self.env.event()
         self._started = False
+        # Per-instance id sources (never module/class globals): two
+        # Charm instances in one process — e.g. sharded SPMD mirrors —
+        # must mint identical ids for identical construction sequences.
+        self._section_counter = itertools.count()
+        self._uid_counter = itertools.count(1)
         #: Entry methods executed.  Native statistic (always counted);
         #: snapshotted into the tracer's ``charm.entries`` counter.
         self.entries_executed = 0
@@ -69,6 +76,21 @@ class Charm:
                 f"method {method_name!r} already has a registered handler"
             )
         self._categories[method_name] = category
+
+    def register_entries(self, method_names: Iterable[str]) -> None:
+        """Pre-register entry handlers in a fixed order.
+
+        Handler ids normally get allocated lazily at the first send of
+        each method, so the allocation order depends on the message
+        trajectory.  Sharded SPMD runs construct one Charm mirror per
+        shard and carry handler ids inside payloads across shards, so
+        every mirror must agree on the ids: call this right after app
+        construction with the complete entry-method list, in one fixed
+        order, on every shard.  Registration itself schedules nothing —
+        it is simulation-neutral.
+        """
+        for name in method_names:
+            self.entry_handler_id(name)
 
     def entry_handler_id(self, method_name: str) -> int:
         hid = self._entry_hids.get(method_name)
@@ -98,6 +120,12 @@ class Charm:
 
         entry.__name__ = f"entry_{method_name}"
         return entry
+
+    def next_uid(self) -> int:
+        """Allocate a small per-instance unique id (array names, m2m
+        tags).  Scoped to this Charm so concurrent instances in one
+        process mint identical ids for identical construction order."""
+        return next(self._uid_counter)
 
     # -- array creation ------------------------------------------------------
     def create_array(
@@ -159,6 +187,11 @@ class Charm:
         """Queue an initial entry-method invocation (before start())."""
         hid = self.entry_handler_id(method)
         pe = self.runtime.pes[array.pe_of(index)]
+        if pe is None:
+            # Sharded run: this mirror does not own the seeded PE — the
+            # shard that does seeds it (hid above was still allocated,
+            # keeping handler-id allocation identical across mirrors).
+            return
         payload = (array.name, index, method, args)
         rec = self.runtime.tracer
         msg_id = None

@@ -10,7 +10,6 @@ section) network messages instead of O(members).
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Dict, Hashable, List, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -18,8 +17,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from .runtime import Charm
 
 __all__ = ["Section"]
-
-_section_ids = itertools.count()
 
 #: Fan-out of the spanning tree over PEs.
 _TREE_ARITY = 4
@@ -37,7 +34,10 @@ class Section:
         missing = [i for i in self.indices if i not in array.elements]
         if missing:
             raise KeyError(f"section members not in array: {missing!r}")
-        self.section_id = next(_section_ids)
+        # Per-Charm counter (not a module global): section ids ride in
+        # message payloads, so concurrent Charm instances in one process
+        # must each start from 0 (see Charm.__init__).
+        self.section_id = next(charm._section_counter)
         #: PEs hosting members, in deterministic order (tree nodes).
         self.pes: List[int] = sorted({array.pe_of(i) for i in self.indices})
         #: Members per PE for the local fan-out.

@@ -56,8 +56,9 @@ class CmiDirectHandle:
                 recv_tag = tag
             else:
                 dst_rank, nbytes, data, recv_tag = entry
-            dst_pe = runtime.pes[dst_rank]
-            ep = dst_pe.process.inbound_endpoint(dst_pe.local_index)
+            # rank_endpoint resolves remote (None-placeholder) PEs on
+            # sharded runs via the deterministic construction formula.
+            ep = runtime.rank_endpoint(dst_rank)
             endpoint_sends.append((ep, nbytes, (dst_rank, data), recv_tag))
         self._m2m: ManyToManyHandle = proc.m2m.register(
             tag, endpoint_sends, expected_recvs
@@ -148,7 +149,12 @@ class CmiDirectManytomany:
         Every participating *process* needs exactly one registered
         handle per tag (the underlying PAMI registry is per-process);
         by convention the first PE of each process registers.
+
+        Returns ``None`` when ``pe`` is a remote placeholder (sharded
+        runs): the shard owning the PE registers the handle.
         """
+        if pe is None:
+            return None
         h = CmiDirectHandle(
             self.runtime, tag, pe, sends, expected_recvs, on_message, completion_handler
         )

@@ -294,12 +294,22 @@ class ConverseRuntime:
             self.machine.attach_faults(self.fault_injector)
 
         # Build processes and PEs.  Threads of a node are split evenly
-        # between its processes.
-        self.processes: List[ConverseProcess] = []
-        self.pes: List[PE] = []
+        # between its processes.  Sharded machines leave ``None`` node
+        # placeholders; the matching process/PE slots stay ``None`` too,
+        # so global ranks keep indexing ``pes`` (remote PEs are reached
+        # through :meth:`rank_endpoint`).
+        self.processes: List[Optional[ConverseProcess]] = []
+        self.pes: List[Optional[PE]] = []
         slice_size = params.threads_per_node // config.processes_per_node
         rank = 0
         for node in self.machine.nodes:
+            if node is None:
+                self.processes.extend([None] * config.processes_per_node)
+                self.pes.extend(
+                    [None] * (config.processes_per_node * config.workers_per_process)
+                )
+                rank += config.processes_per_node * config.workers_per_process
+                continue
             for p in range(config.processes_per_node):
                 proc = ConverseProcess(self, node, p, thread_base=p * slice_size)
                 self.processes.append(proc)
@@ -322,6 +332,8 @@ class ConverseRuntime:
         if reliable:
             policy = (plan or FaultPlan()).retry_policy()
             for proc in self.processes:
+                if proc is None:
+                    continue
                 for ctx in proc.client.contexts:
                     ctx.enable_reliability(policy)
 
@@ -350,18 +362,23 @@ class ConverseRuntime:
         self.env.tracer = tracer
         ct_track = self.COMMTHREAD_TRACK_BASE
         for proc in self.processes:
+            if proc is None:
+                continue
             for ct in proc.comm_threads:
                 ct.tracer = tracer
                 ct.track = ct_track
                 tracer.register_track(ct_track, ct.name)
                 ct_track += 1
         for pe in self.pes:
-            tracer.register_track(pe.rank, f"pe{pe.rank}")
+            if pe is not None:
+                tracer.register_track(pe.rank, f"pe{pe.rank}")
         inj = self.fault_injector
         if inj is not None:
             tracer.register_track(FAULT_TRACK, "faults")
             inj.tracer = tracer
             for proc in self.processes:
+                if proc is None:
+                    continue
                 for ctx in proc.client.contexts:
                     if ctx.reliability is not None:
                         ctx.reliability.tracer = tracer
@@ -391,7 +408,7 @@ class ConverseRuntime:
                 counters[name] = sum(d.values())
                 per_track[name] = d
 
-        pes = self.pes
+        pes = [pe for pe in self.pes if pe is not None]
         put_tracks("converse.msgs_sent", [(pe.rank, pe.msgs_sent) for pe in pes])
         put_tracks("converse.bytes_sent", [(pe.rank, pe.bytes_sent) for pe in pes])
         put_tracks(
@@ -408,23 +425,13 @@ class ConverseRuntime:
         put("converse.rendezvous_sends", self.rendezvous_sends)
         put("queue.enqueues", sum(pe.queue.enqueues for pe in pes))
         put("queue.dequeues", sum(pe.queue.dequeues for pe in pes))
-        put(
-            "l2.atomic_ops",
-            sum(node.l2.op_count for node in self.machine.nodes),
-        )
-        put(
-            "mu.descriptors",
-            sum(node.mu.descriptors_processed for node in self.machine.nodes),
-        )
-        put(
-            "mu.packets_injected",
-            sum(node.mu.packets_injected for node in self.machine.nodes),
-        )
-        put(
-            "mu.packets_received",
-            sum(node.mu.packets_received for node in self.machine.nodes),
-        )
-        contexts = [ctx for proc in self.processes for ctx in proc.client.contexts]
+        nodes = [node for node in self.machine.nodes if node is not None]
+        put("l2.atomic_ops", sum(node.l2.op_count for node in nodes))
+        put("mu.descriptors", sum(node.mu.descriptors_processed for node in nodes))
+        put("mu.packets_injected", sum(node.mu.packets_injected for node in nodes))
+        put("mu.packets_received", sum(node.mu.packets_received for node in nodes))
+        procs = [proc for proc in self.processes if proc is not None]
+        contexts = [ctx for proc in procs for ctx in proc.client.contexts]
         put("pami.msgs_sent", sum(c.messages_sent for c in contexts))
         put("pami.bytes_sent", sum(c.bytes_sent for c in contexts))
         put("pami.msgs_received", sum(c.messages_received for c in contexts))
@@ -436,13 +443,13 @@ class ConverseRuntime:
         put("pami.rputs", sum(c.rputs for c in contexts))
         # Processes may share one allocator; count each exactly once, in
         # process order.
-        allocs = _unique_by_identity(proc.alloc for proc in self.processes)
+        allocs = _unique_by_identity(proc.alloc for proc in procs)
         put("alloc.mallocs", sum(a.mallocs for a in allocs))
         put("alloc.frees", sum(a.frees for a in allocs))
         put("alloc.pool_hits", sum(getattr(a, "pool_hits", 0) for a in allocs))
         put("alloc.pool_misses", sum(getattr(a, "pool_misses", 0) for a in allocs))
         put("alloc.spills", sum(getattr(a, "spills", 0) for a in allocs))
-        cts = [ct for proc in self.processes for ct in proc.comm_threads]
+        cts = [ct for proc in procs for ct in proc.comm_threads]
         put_tracks("commthread.items", [(ct.track, ct.items_processed) for ct in cts])
         put_tracks("commthread.wakeups", [(ct.track, ct.wakeup_count) for ct in cts])
         inj = self.fault_injector
@@ -461,6 +468,33 @@ class ConverseRuntime:
         put("qd.rounds", self.qd_rounds)
         put("qd.protocol_msgs", self.qd_protocol_msgs)
 
+    # -- PE -> endpoint addressing ---------------------------------------------
+    def rank_endpoint(self, rank: int) -> Endpoint:
+        """Inbound PAMI endpoint for a global PE rank.
+
+        For locally built PEs this is the object-derived endpoint
+        (``process.inbound_endpoint``).  For ``None`` placeholders
+        (remote shards) the endpoint is computed from the deterministic
+        construction order: each process allocates its contexts — and
+        therefore its node's reception FIFOs — in process order, one
+        FIFO per context, so the FIFO id is the context's ordinal
+        within the node.  ``tests/sim/test_sharded.py`` asserts the
+        formula matches the object-derived endpoints exactly.
+        """
+        pe = self.pes[rank]
+        if pe is not None:
+            return pe.process.inbound_endpoint(pe.local_index)
+        cfg = self.config
+        node_id, r = divmod(rank, cfg.pes_per_node)
+        proc_in_node, local_index = divmod(r, cfg.workers_per_process)
+        if cfg.comm_threads_per_process > 0:
+            contexts_per_process = cfg.comm_threads_per_process
+            ctx_index = local_index % cfg.comm_threads_per_process
+        else:
+            contexts_per_process = cfg.workers_per_process
+            ctx_index = local_index
+        return (node_id, proc_in_node * contexts_per_process + ctx_index)
+
     # -- handler registry ------------------------------------------------------
     def register_handler(self, fn: Callable, category: str = "sched") -> int:
         """Register a Converse handler ``fn(pe, msg)``; returns its id.
@@ -475,20 +509,24 @@ class ConverseRuntime:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        """Start every PE's scheduler loop."""
+        """Start every (locally built) PE's scheduler loop."""
         for pe in self.pes:
-            pe.start()
+            if pe is not None:
+                pe.start()
 
     def stop(self) -> None:
         """Stop all schedulers and communication threads."""
         self.stopped = True
         self.stop_wakeup.signal()
         for proc in self.processes:
+            if proc is None:
+                continue
             for ct in proc.comm_threads:
                 ct.stop()
         # Wake any PE parked in its idle loop.
         for pe in self.pes:
-            pe.queue.wakeup.signal()
+            if pe is not None:
+                pe.queue.wakeup.signal()
 
     def run_until(self, event) -> Any:
         """Convenience: start, run to the event, stop."""
@@ -538,7 +576,7 @@ class ConverseRuntime:
                     ("send", msg_id, src_pe.rank, dst_rank, nbytes, env.now)
                 )
 
-        if dst_pe.process is proc:
+        if dst_pe is not None and dst_pe.process is proc:
             # Intra-process: pointer exchange into the peer's L2 queue.
             self.intraprocess_sends += 1
             yield from thread.compute(p.intranode_deliver_instr)
@@ -562,7 +600,7 @@ class ConverseRuntime:
         yield from thread.compute(
             p.converse_send_instr + (p.smp_overhead_instr if proc.is_smp else 0.0)
         )
-        endpoint = dst_pe.process.inbound_endpoint(dst_pe.local_index)
+        endpoint = self.rank_endpoint(dst_rank)
         data = (dst_rank, handler_id, nbytes, payload, env.now, priority, msg_id)
 
         if nbytes <= p.rendezvous_threshold:
@@ -619,7 +657,7 @@ class ConverseRuntime:
     # -- receive-side dispatches (run on whichever thread advances) -----------
     def _proc_of_context(self, ctx: PamiContext) -> ConverseProcess:
         for proc in self.processes:
-            if ctx in proc.contexts:
+            if proc is not None and ctx in proc.contexts:
                 return proc
         raise RuntimeError("context not owned by any process")
 

@@ -257,8 +257,6 @@ class _Pencil(Chare):
 class FFT3D:
     """Driver for a pencil-decomposed 3D FFT benchmark run."""
 
-    _uid = 0
-
     def __init__(
         self,
         charm: Charm,
@@ -285,8 +283,11 @@ class FFT3D:
         """
         if iterations < 1:
             raise ValueError("need at least one iteration")
-        FFT3D._uid += 1
-        self.uid = FFT3D._uid
+        # The uid rides in array names, m2m tags and reduction tags, so
+        # it must come from the owning Charm instance (not a class
+        # counter): sharded SPMD mirrors — several Charm instances in
+        # one process — must mint identical uids.
+        self.uid = charm.next_uid()
         self.charm = charm
         self.n = n
         self.use_m2m = use_m2m
@@ -381,6 +382,11 @@ class FFT3D:
         for idx in self.array.indices:
             r, c = idx
             owner_pe = runtime.pes[self.array.pe_of(idx)]
+            if owner_pe is None:
+                # Sharded mirror: the shard owning this pencil's PE
+                # registers its handle; remote sends reach it through
+                # the rank_endpoint formula.
+                continue
             for phase in _PHASES:
                 sends = []
                 for dst, nbytes in self._send_sizes(phase, r, c):

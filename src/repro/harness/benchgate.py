@@ -49,10 +49,14 @@ from ..converse import RunConfig
 
 __all__ = [
     "GATE_BENCHMARKS",
+    "SHARDED_BENCHMARKS",
     "bench_pingpong",
     "bench_fig3_m2m",
     "bench_fig10_window",
+    "bench_pingpong_512n_sharded",
+    "bench_fig3_m2m_128n_sharded",
     "run_gate",
+    "machine_calibration",
     "compare_records",
     "find_bench_files",
     "next_bench_path",
@@ -63,10 +67,38 @@ __all__ = [
 #: Benchmarks the gate runs, in order.
 GATE_BENCHMARKS: Tuple[str, ...] = ("pingpong", "fig3_m2m", "fig10_window")
 
+#: Large sharded-engine runs recorded at full scale only (the paper's
+#: 128-512 node regime, simulated for real on the sharded PDES engine
+#: rather than the analytic model — see docs/SCALING.md).
+SHARDED_BENCHMARKS: Tuple[str, ...] = (
+    "pingpong_512n_sharded",
+    "fig3_m2m_128n_sharded",
+)
+
 #: Allowed events/sec drop before the gate fails (10% per ISSUE/EXPERIMENTS).
 REGRESSION_TOLERANCE = 0.10
 
 _BENCH_RE = re.compile(r"^BENCH_(\d{4})\.json$")
+
+
+def machine_calibration(reps: int = 3) -> float:
+    """Wall seconds for a fixed pure-Python spin workload (best of reps).
+
+    Recorded alongside every gate run so events/sec is comparable
+    across machines and across load states of one machine: the same
+    commit has measured 23% apart on this repo's dev box depending on
+    co-tenant load, which swamps the 10% regression tolerance.  The
+    spin loop exercises the same interpreter dispatch the simulator
+    spends its time in, so its wall time tracks simulator throughput.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        x = 0
+        for i in range(2_000_000):
+            x = (x * 1103515245 + i) & 0xFFFFFFFF
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _checksum(sim_times: Dict[str, str]) -> str:
@@ -185,10 +217,49 @@ def bench_fig10_window(
     )
 
 
+def bench_pingpong_512n_sharded(trips: int = 50) -> dict:
+    """Cross-machine ping-pong over a really-simulated 512-node torus.
+
+    Runs on the sharded conservative-PDES engine (4 shards), corner to
+    corner across the 4x4x4x4x2 torus — a node count the repo
+    previously only reached through the analytic performance model
+    (EXPERIMENTS.md, figure->artifact table).
+    """
+    from .shardbench import sharded_bench_pingpong
+
+    rec = sharded_bench_pingpong(512, 4, nbytes=512, trips=trips)
+    return _record(
+        rec["wall_s"], rec["events"], rec["sim_times"], nshards=rec["nshards"],
+        nnodes=512,
+    )
+
+
+def bench_fig3_m2m_128n_sharded(n_steps: int = 2) -> dict:
+    """The Fig. 3 m2m PME mini-NAMD run on 128 really-simulated nodes.
+
+    Same workload as ``fig3_m2m`` but at the paper's scale regime
+    (128 nodes / 512 worker threads), executed by 4 PDES shards.
+    """
+    from .shardbench import sharded_bench_fig3_m2m
+
+    rec = sharded_bench_fig3_m2m(
+        128, 4, n_steps=n_steps, n_atoms=1372, workers=2, comm_threads=2
+    )
+    return _record(
+        rec["wall_s"], rec["events"], rec["sim_times"], nshards=rec["nshards"],
+        nnodes=128,
+    )
+
+
 # -- gate orchestration ----------------------------------------------------
 
 def run_gate(scale: str = "full") -> Dict[str, dict]:
-    """Run every gated benchmark; ``scale="tiny"`` for fast self-tests."""
+    """Run every gated benchmark; ``scale="tiny"`` for fast self-tests.
+
+    Full scale additionally records the :data:`SHARDED_BENCHMARKS`
+    large-node sharded-engine runs (they are recorded and compared like
+    any other benchmark once a baseline containing them exists).
+    """
     if scale == "tiny":
         return {
             "pingpong": bench_pingpong(trips=6),
@@ -201,6 +272,8 @@ def run_gate(scale: str = "full") -> Dict[str, dict]:
         "pingpong": bench_pingpong(),
         "fig3_m2m": bench_fig3_m2m(),
         "fig10_window": bench_fig10_window(),
+        "pingpong_512n_sharded": bench_pingpong_512n_sharded(),
+        "fig3_m2m_128n_sharded": bench_fig3_m2m_128n_sharded(),
     }
 
 
@@ -228,17 +301,57 @@ def load_record(path: pathlib.Path) -> dict:
 
 
 def compare_records(
-    baseline: dict, current: dict, tolerance: float = REGRESSION_TOLERANCE
+    baseline: dict,
+    current: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+    checksum_only: bool = False,
 ) -> Tuple[List[str], List[str]]:
     """Compare two gate records; returns (failures, notes).
 
     * any simulated-time checksum difference → hard failure;
-    * events/sec more than ``tolerance`` below baseline → failure.
+    * events/sec more than ``tolerance`` below baseline → failure,
+      unless ``checksum_only`` (throughput is still reported as a
+      note).  Checksums are portable across machines; events/sec is
+      not — CI runs on foreign hardware and gates on checksums only,
+      while the committed ``BENCH_NNNN.json`` trajectory (recorded on
+      the dev box) keeps the throughput gate.
+
+    When both records carry a ``calibration_wall_s`` (see
+    :func:`machine_calibration`) the throughput ratio is normalized by
+    the machine-speed ratio before gating, so a loaded or slower box
+    does not read as a code regression (nor a faster one mask a real
+    regression).  A baseline without calibration cannot be
+    speed-compared meaningfully; throughput then becomes a note and
+    only checksums gate.
     """
     failures: List[str] = []
     notes: List[str] = []
     base_b = baseline.get("benchmarks", {})
     cur_b = current.get("benchmarks", {})
+    base_calib = baseline.get("calibration_wall_s")
+    cur_calib = current.get("calibration_wall_s")
+    # Machine-speed correction: >1 means the current box is slower.
+    # Both records uncalibrated (legacy vs legacy) → gate on the raw
+    # ratio as before; exactly one calibrated → the speeds are not
+    # comparable, so throughput demotes to a note.
+    speed = None
+    throughput_gated = True
+    if base_calib and cur_calib:
+        speed = cur_calib / base_calib
+        notes.append(
+            f"machine calibration: {cur_calib:.3f}s vs baseline "
+            f"{base_calib:.3f}s ({speed:.2f}x slower)"
+            if speed >= 1.0
+            else f"machine calibration: {cur_calib:.3f}s vs baseline "
+            f"{base_calib:.3f}s ({1 / speed:.2f}x faster)"
+        )
+    elif bool(base_calib) != bool(cur_calib):
+        throughput_gated = False
+        if not checksum_only:
+            notes.append(
+                "calibration present in only one record — events/sec not "
+                "comparable, gating on checksums only"
+            )
     for name in cur_b:
         if name not in base_b:
             notes.append(f"{name}: no baseline entry (new benchmark)")
@@ -258,13 +371,27 @@ def compare_records(
         base_eps, cur_eps = b["events_per_sec"], c["events_per_sec"]
         if base_eps > 0:
             ratio = cur_eps / base_eps
-            notes.append(
-                f"{name}: {cur_eps:,.0f} ev/s vs baseline {base_eps:,.0f} "
-                f"({ratio:.2f}x)"
-            )
-            if ratio < 1.0 - tolerance:
+            if speed is not None:
+                gated_ratio = ratio * speed
+                notes.append(
+                    f"{name}: {cur_eps:,.0f} ev/s vs baseline {base_eps:,.0f} "
+                    f"({ratio:.2f}x raw, {gated_ratio:.2f}x machine-adjusted)"
+                )
+                label = f"{gated_ratio:.2f}x machine-adjusted"
+            else:
+                gated_ratio = ratio
+                notes.append(
+                    f"{name}: {cur_eps:,.0f} ev/s vs baseline {base_eps:,.0f} "
+                    f"({ratio:.2f}x)"
+                )
+                label = f"{ratio:.2f}x"
+            if (
+                throughput_gated
+                and gated_ratio < 1.0 - tolerance
+                and not checksum_only
+            ):
                 failures.append(
-                    f"{name}: events/sec regression {ratio:.2f}x "
+                    f"{name}: events/sec regression {label} "
                     f"(< {1.0 - tolerance:.2f}x of baseline)"
                 )
     return failures, notes
@@ -307,7 +434,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="benchmark sizes ('tiny' is for self-tests only)",
     )
     parser.add_argument("--label", default="", help="free-form record label")
+    parser.add_argument(
+        "--checksum-only",
+        action="store_true",
+        help="gate on simulated-time checksums only (skip the events/sec "
+        "comparison — use on machines other than the one that recorded "
+        "the baseline, e.g. CI)",
+    )
+    parser.add_argument(
+        "--shard-gate", action="store_true",
+        help="run the sharded-vs-serial equivalence gate instead of the "
+        "regression gate: every gated benchmark must produce bit-identical "
+        "simulated times on the sharded PDES engine (shards in {1,2,4}) "
+        "and the serial engine (see docs/SCALING.md)",
+    )
     args = parser.parse_args(argv)
+
+    if args.shard_gate:
+        from .shardbench import shard_equivalence_gate
+
+        t0 = time.perf_counter()
+        failures, notes = shard_equivalence_gate(scale=args.scale)
+        wall = time.perf_counter() - t0
+        print(f"shard-gate: serial-vs-sharded equivalence ({wall:.1f}s total)")
+        for note in notes:
+            print(f"  {note}")
+        if failures:
+            for failure in failures:
+                print(f"  FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("shard-gate: PASS (bit-identical simulated times)")
+        return 0
 
     root = args.root.resolve()
     out = args.out if args.out is not None else next_bench_path(root)
@@ -316,6 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     t0 = time.perf_counter()
     benchmarks = run_gate(scale=args.scale)
     total_wall = time.perf_counter() - t0
+    calibration = machine_calibration()
 
     record = {
         "schema": 1,
@@ -325,13 +483,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine_fastpath": os.environ.get("REPRO_ENGINE_SLOWPATH") != "1",
         "scale": args.scale,
         "total_wall_s": round(total_wall, 2),
+        "calibration_wall_s": round(calibration, 4),
         "benchmarks": benchmarks,
     }
     with open(out, "w") as f:
         json.dump(record, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench-gate: wrote {out} ({total_wall:.1f}s total)")
-    for name in GATE_BENCHMARKS:
+    for name in benchmarks:
         b = benchmarks[name]
         print(
             f"  {name:13s} {b['events']:>9,d} events  {b['wall_s']:>7.2f}s  "
@@ -347,7 +506,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("bench-gate: no prior BENCH_*.json — recorded baseline, nothing to gate")
         return 0
     baseline = load_record(baseline_path)
-    failures, notes = compare_records(baseline, record, tolerance=args.tolerance)
+    failures, notes = compare_records(
+        baseline,
+        record,
+        tolerance=args.tolerance,
+        checksum_only=args.checksum_only,
+    )
     print(f"bench-gate: comparing against {baseline_path.name}")
     for note in notes:
         print(f"  {note}")

@@ -1,0 +1,513 @@
+"""Sharded-engine benchmark builders and the equivalence gate core.
+
+This module turns the gated single-process benchmarks (pingpong,
+fig3_m2m, fig10_window — see :mod:`repro.harness.benchgate`) into
+SPMD sharded runs: every shard constructs an identical mirror of the
+application (same seeds, same construction order, same handler ids)
+over a :class:`~repro.bgq.shardnet.ShardedBGQMachine` that builds only
+its own block of nodes, and a :class:`~repro.sim.shard.ShardCoordinator`
+advances the shard environments in conservative lockstep windows.
+
+The point of the exercise is **bit-identical simulated time**: a
+sharded run must produce exactly the ``sim_times`` observables of the
+serial engine — same final clock ``repr``, same per-step boundaries —
+for shards ∈ {1, 2, 4}.  :func:`shard_equivalence_gate` checks exactly
+that; ``make shard-gate`` is the entry point and docs/SCALING.md the
+handbook.
+
+SPMD mirror rules (violating any of these diverges the trajectory —
+see docs/SCALING.md, "Determinism"):
+
+* construct the application identically on every shard (same RNG
+  seeds, same array/construction order);
+* pre-register every entry method in one fixed order right after
+  construction (:meth:`repro.charm.runtime.Charm.register_entries`) —
+  handler ids ride inside payloads across shards;
+* seed through :meth:`Charm.seed` (it skips remote PEs but still
+  allocates handler ids);
+* never read another shard's state outside the window barrier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..bgq.shardnet import ReservationFabric, ShardClient, ShardedBGQMachine
+from ..converse import ConverseRuntime, RunConfig
+from ..converse.messages import ConverseMessage
+from ..sim.shard import ShardCoordinator, ShardEnvironment, run_sharded_subprocesses
+
+__all__ = [
+    "NAMD_ENTRY_METHODS",
+    "run_sharded_pingpong",
+    "run_sharded_namd",
+    "sharded_bench_pingpong",
+    "sharded_bench_fig3_m2m",
+    "sharded_bench_fig10_window",
+    "shard_equivalence_gate",
+    "SHARD_GATE_SHARD_COUNTS",
+]
+
+#: Every entry method mini-NAMD (incl. its embedded FFT service) sends;
+#: pre-registered in this order on every shard mirror so the lazily
+#: allocated handler ids agree across shards.
+NAMD_ENTRY_METHODS: Tuple[str, ...] = (
+    "start",
+    "take_positions",
+    "add_force",
+    "deposit",
+    "pme_slab",
+    "begin",
+    "recv_block",
+    "phase_done",
+)
+
+#: Shard counts the equivalence gate compares against the serial engine.
+SHARD_GATE_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+class _Shard:
+    """One shard mirror of a benchmark (env + runtime + result hooks)."""
+
+    def __init__(self, env, runtime, done, result_fn) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.done = done
+        self.result_fn = result_fn
+
+
+# ---------------------------------------------------------------------------
+# pingpong
+# ---------------------------------------------------------------------------
+
+def _build_pingpong_shard(
+    shard_id: int,
+    nshards: int,
+    config: RunConfig,
+    nbytes: int,
+    trips: int,
+    src_rank: int,
+    dst_rank: int,
+    fabric: Optional[ReservationFabric],
+) -> _Shard:
+    """One shard mirror of :func:`repro.harness.pingpong.pingpong_run`.
+
+    Mirrors the serial builder exactly: same handler registration order
+    (pong, then ping), same seed message.  Only the shard owning
+    ``src_rank`` seeds and owns the ``done`` event; the handlers only
+    ever execute on the shards owning their PEs.
+    """
+    env = ShardEnvironment(shard_id)
+    machine = ShardedBGQMachine(env, config.nnodes, shard_id, nshards, fabric=fabric)
+    rt = ConverseRuntime(env, config, machine=machine)
+    rtts: List[float] = []
+    done = env.event()
+    state = {"t0": 0.0, "trip": 0}
+
+    def pong(pe, msg):
+        yield from pe.send(src_rank, hid_ping, nbytes, None)
+
+    def ping(pe, msg):
+        now = env.now
+        if state["trip"] > 0:
+            rtts.append(now - state["t0"])
+        if state["trip"] >= trips:
+            done.succeed()
+            return
+        state["t0"] = now
+        state["trip"] += 1
+        yield from pe.send(dst_rank, hid_pong, nbytes, None)
+
+    hid_pong = rt.register_handler(pong)
+    hid_ping = rt.register_handler(ping)
+    src_pe = rt.pes[src_rank]
+    if src_pe is not None:
+        src_pe.local_q.append(
+            ConverseMessage(hid_ping, 0, None, src_rank, src_rank)
+        )
+    rt.start()
+
+    def result() -> Dict[str, Any]:
+        rt.stop()
+        return {
+            "sim_time": env.now,
+            "rtts": list(rtts),
+            "events": env.events_executed,
+        }
+
+    return _Shard(env, rt, done, result)
+
+
+def run_sharded_pingpong(
+    config: RunConfig,
+    nbytes: int,
+    nshards: int,
+    trips: int = 8,
+    src_rank: int = 0,
+    dst_rank: Optional[int] = None,
+    transport: str = "inproc",
+) -> Dict[str, Any]:
+    """Sharded ping-pong; returns serial-compatible run statistics.
+
+    ``transport="inproc"`` runs all shards in this process under a
+    :class:`ShardCoordinator`; ``"mp"`` forks one OS process per shard
+    (eager/MEMFIFO traffic only — which ping-pong is).
+    """
+    if dst_rank is None:
+        dst_rank = (config.nnodes - 1) * config.pes_per_node  # first PE, last node
+    if transport == "inproc":
+        fabric = ReservationFabric(config.nnodes, nshards)
+        shards = [
+            _build_pingpong_shard(
+                sid, nshards, config, nbytes, trips, src_rank, dst_rank, fabric
+            )
+            for sid in range(nshards)
+        ]
+        coordinator = ShardCoordinator(
+            [s.env for s in shards], fabric.window, fabric
+        )
+        t0 = time.perf_counter()
+        coordinator.run(shards[0].done)
+        wall_s = time.perf_counter() - t0
+        per_shard = {s.env.shard_id: s.result_fn() for s in shards}
+    elif transport == "mp":
+        fabric = ReservationFabric(config.nnodes, nshards)
+
+        def build_client(shard_id: int, nshards_: int) -> ShardClient:
+            shard = _build_pingpong_shard(
+                shard_id, nshards_, config, nbytes, trips, src_rank, dst_rank,
+                fabric=None,
+            )
+            return ShardClient(
+                shard.env,
+                shard.runtime.machine,
+                done=shard.done if shard_id == 0 else None,
+                result_fn=shard.result_fn,
+            )
+
+        t0 = time.perf_counter()
+        per_shard = run_sharded_subprocesses(
+            nshards, fabric.window, build_client, fabric
+        )
+        wall_s = time.perf_counter() - t0
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+
+    root = per_shard[0]
+    return {
+        "sim_time": root["sim_time"],
+        "rtts": root["rtts"],
+        "events": sum(r["events"] for r in per_shard.values()),
+        "wall_s": wall_s,
+        "nshards": nshards,
+        "transport": transport,
+    }
+
+
+# ---------------------------------------------------------------------------
+# mini-NAMD (fig3_m2m / fig10_window)
+# ---------------------------------------------------------------------------
+
+def _build_namd_shard(
+    shard_id: int,
+    nshards: int,
+    fabric: Optional[ReservationFabric],
+    use_m2m_pme: bool,
+    n_steps: int,
+    n_atoms: int,
+    nnodes: int,
+    workers: int,
+    comm_threads: int,
+    seed: int,
+) -> _Shard:
+    """One SPMD mirror of :func:`repro.harness.benchgate._namd_run`.
+
+    Every shard builds the identical system (same ``seed``) and Charm
+    application; entry methods are pre-registered in fixed order; seeds
+    land only on owning shards.  Requires the in-process transport:
+    the m2m slot back-channel and PME rendezvous flows carry object
+    references across shards.
+    """
+    from ..charm import Charm
+    from ..namd.charm_app import NamdCharm
+    from ..namd.system import APOA1, build_system
+
+    spec = dataclasses.replace(APOA1, cutoff=7.5)
+    system = build_system(
+        n_atoms, spec_like=spec, temperature=0.003, bond_fraction=0.0, seed=seed
+    )
+    config = RunConfig(
+        nnodes=nnodes,
+        workers_per_process=workers,
+        comm_threads_per_process=comm_threads,
+    )
+    env = ShardEnvironment(shard_id)
+    machine = ShardedBGQMachine(env, nnodes, shard_id, nshards, fabric=fabric)
+    charm = Charm(config, env=env, machine=machine)
+    app = NamdCharm(
+        charm, system, n_steps=n_steps, pme_every=1, use_m2m_pme=use_m2m_pme,
+        dt=0.004,
+    )
+    charm.register_entries(NAMD_ENTRY_METHODS)
+    for p in range(app.patch_grid.n_patches):
+        charm.seed(app.patches, p, "start")
+    charm.start()
+
+    def result() -> Dict[str, Any]:
+        charm.runtime.stop()
+        return {
+            "sim_time": env.now,
+            "events": env.events_executed,
+            "step_times": tuple(t for t, _ in app.step_log),
+        }
+
+    return _Shard(env, charm.runtime, charm.done, result)
+
+
+def run_sharded_namd(
+    use_m2m_pme: bool,
+    n_steps: int,
+    n_atoms: int,
+    nnodes: int,
+    workers: int,
+    comm_threads: int,
+    nshards: int,
+    seed: int = 17,
+) -> Dict[str, Any]:
+    """Sharded mini-NAMD run (in-process transport); serial-compatible
+    statistics from the root shard (rank 0 hosts both reduction roots)."""
+    fabric = ReservationFabric(nnodes, nshards)
+    shards = [
+        _build_namd_shard(
+            sid, nshards, fabric, use_m2m_pme, n_steps, n_atoms, nnodes,
+            workers, comm_threads, seed,
+        )
+        for sid in range(nshards)
+    ]
+    coordinator = ShardCoordinator([s.env for s in shards], fabric.window, fabric)
+    t0 = time.perf_counter()
+    coordinator.run(shards[0].done)
+    wall_s = time.perf_counter() - t0
+    per_shard = {s.env.shard_id: s.result_fn() for s in shards}
+    root = per_shard[0]
+    return {
+        "sim_time": root["sim_time"],
+        "step_times": root["step_times"],
+        "events": sum(r["events"] for r in per_shard.values()),
+        "wall_s": wall_s,
+        "nshards": nshards,
+        "windows": coordinator.windows_run,
+    }
+
+
+# ---------------------------------------------------------------------------
+# benchmark records (benchgate-compatible sim_times dicts)
+# ---------------------------------------------------------------------------
+
+def sharded_bench_pingpong(
+    nnodes: int, nshards: int, nbytes: int = 512, trips: int = 8,
+    transport: str = "inproc",
+) -> Dict[str, Any]:
+    """Benchgate-style record for a sharded ping-pong across the torus."""
+    run = run_sharded_pingpong(
+        RunConfig(nnodes=nnodes, workers_per_process=4), nbytes,
+        nshards, trips=trips, transport=transport,
+    )
+    return {
+        "wall_s": run["wall_s"],
+        "events": run["events"],
+        "sim_times": {
+            "final": repr(run["sim_time"]),
+            "rtt_sum": repr(float(sum(run["rtts"]))),
+        },
+        "nshards": nshards,
+    }
+
+
+def sharded_bench_fig3_m2m(
+    nnodes: int, nshards: int, n_steps: int = 3, n_atoms: int = 1372,
+    workers: int = 2, comm_threads: int = 2,
+) -> Dict[str, Any]:
+    """Benchgate-style record for the sharded Fig. 3 m2m PME run."""
+    run = run_sharded_namd(
+        True, n_steps, n_atoms, nnodes, workers, comm_threads, nshards
+    )
+    sim_times = {"final": repr(run["sim_time"])}
+    for i, t in enumerate(run["step_times"]):
+        sim_times[f"step{i}"] = repr(t)
+    return {
+        "wall_s": run["wall_s"],
+        "events": run["events"],
+        "sim_times": sim_times,
+        "nshards": nshards,
+    }
+
+
+def sharded_bench_fig10_window(
+    nnodes: int, nshards: int, n_steps: int = 4, n_atoms: int = 1372,
+    workers: int = 2, comm_threads: int = 1,
+) -> Dict[str, Any]:
+    """Benchgate-style record for the sharded Fig. 10 window experiment."""
+    std = run_sharded_namd(
+        False, n_steps, n_atoms, nnodes, workers, comm_threads, nshards
+    )
+    m2m = run_sharded_namd(
+        True, n_steps, n_atoms, nnodes, workers, comm_threads, nshards
+    )
+    window = std["sim_time"] * 0.75
+    sim_times = {
+        "final_std": repr(std["sim_time"]),
+        "final_m2m": repr(m2m["sim_time"]),
+        "steps_in_window_std": repr(
+            sum(1 for t in std["step_times"] if t <= window)
+        ),
+        "steps_in_window_m2m": repr(
+            sum(1 for t in m2m["step_times"] if t <= window)
+        ),
+    }
+    return {
+        "wall_s": std["wall_s"] + m2m["wall_s"],
+        "events": std["events"] + m2m["events"],
+        "sim_times": sim_times,
+        "nshards": nshards,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the equivalence gate
+# ---------------------------------------------------------------------------
+
+def _serial_pingpong_sim_times(nnodes: int, nbytes: int, trips: int) -> Dict[str, str]:
+    from .pingpong import pingpong_run
+
+    config = RunConfig(nnodes=nnodes, workers_per_process=4)
+    run = pingpong_run(
+        config, nbytes, dst_rank=(nnodes - 1) * config.pes_per_node,
+        trips=trips,
+    )
+    return {
+        "final": repr(run["sim_time"]),
+        "rtt_sum": repr(float(sum(run["rtts"]))),
+    }
+
+
+def _serial_fig3_sim_times(
+    nnodes: int, n_steps: int, n_atoms: int, workers: int, comm_threads: int
+) -> Dict[str, str]:
+    from .benchgate import _namd_run
+
+    run = _namd_run(True, n_steps, n_atoms, nnodes, workers, comm_threads)
+    sim_times = {"final": repr(run["sim_time"])}
+    for i, t in enumerate(run["step_times"]):
+        sim_times[f"step{i}"] = repr(t)
+    return sim_times
+
+
+def _serial_fig10_sim_times(
+    nnodes: int, n_steps: int, n_atoms: int, workers: int, comm_threads: int
+) -> Dict[str, str]:
+    from .benchgate import _namd_run
+
+    std = _namd_run(False, n_steps, n_atoms, nnodes, workers, comm_threads)
+    m2m = _namd_run(True, n_steps, n_atoms, nnodes, workers, comm_threads)
+    window = std["sim_time"] * 0.75
+    return {
+        "final_std": repr(std["sim_time"]),
+        "final_m2m": repr(m2m["sim_time"]),
+        "steps_in_window_std": repr(
+            sum(1 for t in std["step_times"] if t <= window)
+        ),
+        "steps_in_window_m2m": repr(
+            sum(1 for t in m2m["step_times"] if t <= window)
+        ),
+    }
+
+
+def shard_equivalence_gate(
+    scale: str = "full", shard_counts: Tuple[int, ...] = SHARD_GATE_SHARD_COUNTS
+) -> Tuple[List[str], List[str]]:
+    """Serial-vs-sharded bit-identity over the three gated benchmarks.
+
+    For each benchmark, runs the serial engine once, then the sharded
+    engine at every shard count (shards=1 exercises the full sharded
+    machinery — buffered reservations, window barriers — and must
+    still match).  Any differing ``repr`` of any simulated-time
+    observable is a failure.  Returns ``(failures, notes)``.
+    """
+    if scale == "tiny":
+        pp = dict(nnodes=4, nbytes=512, trips=4)
+        f3 = dict(nnodes=4, n_steps=1, n_atoms=256, workers=1, comm_threads=1)
+        f10 = dict(nnodes=4, n_steps=1, n_atoms=256, workers=1, comm_threads=1)
+    else:
+        pp = dict(nnodes=4, nbytes=512, trips=200)
+        f3 = dict(nnodes=4, n_steps=2, n_atoms=512, workers=2, comm_threads=2)
+        f10 = dict(nnodes=4, n_steps=2, n_atoms=512, workers=2, comm_threads=1)
+
+    failures: List[str] = []
+    notes: List[str] = []
+
+    def check(name: str, serial: Dict[str, str], sharded_fn: Callable[[int], dict]) -> None:
+        for nshards in shard_counts:
+            rec = sharded_fn(nshards)
+            got = rec["sim_times"]
+            if got == serial:
+                notes.append(
+                    f"{name} shards={nshards}: identical "
+                    f"({len(serial)} observables, final={serial['final' if 'final' in serial else sorted(serial)[0]]})"
+                )
+            else:
+                drift = [
+                    k
+                    for k in sorted(set(serial) | set(got))
+                    if serial.get(k) != got.get(k)
+                ]
+                failures.append(
+                    f"{name} shards={nshards}: simulated-time drift vs serial "
+                    f"— diverging observables: {', '.join(drift)} "
+                    f"(e.g. {drift[0]}: serial={serial.get(drift[0])!r} "
+                    f"sharded={got.get(drift[0])!r})"
+                )
+
+    check(
+        "pingpong",
+        _serial_pingpong_sim_times(pp["nnodes"], pp["nbytes"], pp["trips"]),
+        lambda n: sharded_bench_pingpong(
+            pp["nnodes"], n, nbytes=pp["nbytes"], trips=pp["trips"]
+        ),
+    )
+    check(
+        "fig3_m2m",
+        _serial_fig3_sim_times(**f3),
+        lambda n: sharded_bench_fig3_m2m(
+            f3["nnodes"], n, n_steps=f3["n_steps"], n_atoms=f3["n_atoms"],
+            workers=f3["workers"], comm_threads=f3["comm_threads"],
+        ),
+    )
+    check(
+        "fig10_window",
+        _serial_fig10_sim_times(**f10),
+        lambda n: sharded_bench_fig10_window(
+            f10["nnodes"], n, n_steps=f10["n_steps"], n_atoms=f10["n_atoms"],
+            workers=f10["workers"], comm_threads=f10["comm_threads"],
+        ),
+    )
+    # The subprocess transport must agree too; one representative
+    # config (pingpong is the MEMFIFO-only benchmark it supports).
+    serial = _serial_pingpong_sim_times(pp["nnodes"], pp["nbytes"], pp["trips"])
+    try:
+        rec = sharded_bench_pingpong(
+            pp["nnodes"], 2, nbytes=pp["nbytes"], trips=pp["trips"],
+            transport="mp",
+        )
+    except (ImportError, OSError, PermissionError) as exc:
+        notes.append(f"pingpong mp-transport: skipped ({exc})")
+    else:
+        if rec["sim_times"] == serial:
+            notes.append("pingpong mp-transport shards=2: identical")
+        else:
+            failures.append(
+                "pingpong mp-transport shards=2: simulated-time drift vs serial"
+            )
+    return failures, notes

@@ -1,9 +1,11 @@
 """Systematic DES-vs-model cross-validation.
 
-The analytic models extend the DES mechanisms to node counts a Python
-DES cannot reach; this module checks them against each other where they
-*do* overlap, so a calibration drift in either engine fails loudly in
-the test suite.
+The analytic models extend the DES mechanisms to node counts a single
+serial Python DES cannot comfortably reach; this module checks them
+against each other where they overlap, so a calibration drift in either
+engine fails loudly in the test suite.  Since the sharded
+conservative-PDES engine (docs/SCALING.md) the overlap includes the
+paper's 128-512 node regime (:func:`sharded_torus_crosscheck`).
 
 The comparison is on *ratios* (m2m speedup, mode ordering, contention
 factors) rather than absolute microseconds: the analytic constants are
@@ -20,7 +22,13 @@ from ..bgq.params import CYCLES_PER_US
 from .fftmodel import fft_step_time
 from .machine import per_thread_ipc
 
-__all__ = ["CrossCheck", "fft_speedup_crosscheck", "smt_crosscheck", "run_all"]
+__all__ = [
+    "CrossCheck",
+    "fft_speedup_crosscheck",
+    "smt_crosscheck",
+    "sharded_torus_crosscheck",
+    "run_all",
+]
 
 
 @dataclass
@@ -102,10 +110,61 @@ def pingpong_mode_crosscheck(tolerance: float = 1.6) -> CrossCheck:
     )
 
 
+def sharded_torus_crosscheck(
+    nnodes: int = 512, nshards: int = 4, nbytes: int = 16, tolerance: float = 1.25
+) -> CrossCheck:
+    """128+-node torus transit: sharded DES vs closed-form hop model.
+
+    The sharded conservative-PDES engine (docs/SCALING.md) simulates
+    the paper's 128-512 node regime for real, so the analytic network
+    model can now be checked at scale instead of extrapolated: the
+    extra one-way latency of a corner-to-corner ping on a ``nnodes``
+    torus over a 2-node neighbour ping must equal the analytic
+    prediction ``extra_hops * hop_latency`` — everything else in the
+    path (software overhead, NIC latency, serialization) is identical
+    between the two runs and cancels.
+    """
+    from ..bgq.params import DEFAULT_PARAMS
+    from ..bgq.torus import bgq_partition_shape
+    from ..converse import RunConfig
+    from ..harness.pingpong import pingpong_run
+    from ..harness.shardbench import run_sharded_pingpong
+
+    def _hops(shape: Tuple[int, ...], node: int) -> int:
+        # Wraparound distance node 0 -> `node`, dimension-ordered coords.
+        total, rest = 0, node
+        for d in reversed(shape):
+            rest, c = divmod(rest, d)
+            total += min(c, d - c) if d > 1 else 0
+        return total
+
+    def _oneway(rtts, skip=2):
+        usable = rtts[skip:]
+        return (sum(usable) / len(usable)) / 2.0 / CYCLES_PER_US
+
+    config2 = RunConfig(nnodes=2, workers_per_process=4)
+    near = pingpong_run(config2, nbytes, trips=6)
+    far = run_sharded_pingpong(
+        RunConfig(nnodes=nnodes, workers_per_process=4), nbytes, nshards, trips=6
+    )
+    des_delta = _oneway(far["rtts"]) - _oneway(near["rtts"])
+    extra_hops = _hops(bgq_partition_shape(nnodes), nnodes - 1) - _hops(
+        bgq_partition_shape(2), 1
+    )
+    model_delta = extra_hops * DEFAULT_PARAMS.hop_latency / CYCLES_PER_US
+    return CrossCheck(
+        f"sharded {nnodes}n torus transit delta (us)",
+        des_delta,
+        model_delta,
+        tolerance,
+    )
+
+
 def run_all() -> List[CrossCheck]:
     """All cross-checks (used by the test suite and diagnostics)."""
     return [
         smt_crosscheck(),
         pingpong_mode_crosscheck(),
         fft_speedup_crosscheck(),
+        sharded_torus_crosscheck(),
     ]

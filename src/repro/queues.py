@@ -39,7 +39,6 @@ tracing is enabled the Converse runtime snapshots them into the
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Any, Deque, List, Optional
 
@@ -50,8 +49,6 @@ from .bgq.wakeup import WakeupSource
 from .sim import Environment, Mutex
 
 __all__ = ["MutexQueue", "L2AtomicQueue", "MPIOrderedQueue"]
-
-_queue_ids = itertools.count()
 
 #: Small fixed software cost (instructions) around each queue operation
 #: (pointer write, index arithmetic).
@@ -145,7 +142,10 @@ class L2AtomicQueue(_QueueBase):
     ) -> None:
         if size < 1:
             raise ValueError("queue size must be >= 1")
-        name = name or f"l2q{next(_queue_ids)}"
+        # Anonymous names come from the owning L2 unit's counter, so
+        # they are stable per-environment regardless of what other
+        # simulations ran earlier in this process.
+        name = name or f"l2q{next(l2.anon_queue_ids)}"
         super().__init__(env, name, params)
         self.l2 = l2
         self.size = size

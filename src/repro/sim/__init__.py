@@ -16,6 +16,12 @@ from .engine import (
 )
 from .resources import ContentionStats, Mutex, Semaphore, Store
 from .rng import StreamRegistry
+from .shard import (
+    ShardCoordinator,
+    ShardEnvironment,
+    ShardStallError,
+    run_sharded_subprocesses,
+)
 from .trace import (
     Segment,
     TimelineRecorder,
@@ -34,8 +40,12 @@ __all__ = [
     "Process",
     "Segment",
     "Semaphore",
+    "ShardCoordinator",
+    "ShardEnvironment",
+    "ShardStallError",
     "SimulationError",
     "Store",
+    "run_sharded_subprocesses",
     "StreamRegistry",
     "Timeout",
     "TimelineRecorder",

@@ -617,6 +617,29 @@ class Environment:
                 step()
             return None
 
+        value = self.run_window(stop_time, stop_event)
+        if stop_event is not None and stop_event._state != _PROCESSED:
+            raise SimulationError(
+                f"run() ran out of events before {stop_event!r} triggered"
+            )
+        return value
+
+    def run_window(self, stop_time: float, stop_event: Optional[Event] = None) -> Any:
+        """Process the half-open event window ``[now, stop_time)``.
+
+        The extracted core of the bounded :meth:`run` loop, shared with
+        the sharded conservative-PDES driver (:mod:`repro.sim.shard`):
+        events strictly before ``stop_time`` execute in ``(time, seq)``
+        order, then the clock lands exactly on ``stop_time``.  If
+        ``stop_event`` is processed mid-window, execution stops there —
+        with the clock at the event's time, exactly like
+        ``run(until=event)`` — and its value is returned.  Running out
+        of events is *not* an error here: under sharding, a drained
+        shard simply waits at the window boundary for neighbour traffic.
+        """
+        step = self.step
+        imm = self._imm
+        q = self._queue
         while imm or q:
             if (imm[0][0] if imm else q[0][0]) >= stop_time:
                 self._now = stop_time
@@ -624,10 +647,6 @@ class Environment:
             step()
             if stop_event is not None and stop_event._state == _PROCESSED:
                 return stop_event.value
-        if stop_event is not None:
-            raise SimulationError(
-                f"run() ran out of events before {stop_event!r} triggered"
-            )
         if stop_time != _INF:
             self._now = stop_time
         return None

@@ -106,6 +106,46 @@ def test_compare_hard_fails_on_checksum_drift_even_when_faster():
     assert "final" in failures[0]  # names the diverging observable
 
 
+def test_compare_normalizes_by_machine_calibration():
+    base = _record_with(x=_rec(100.0))
+    base["calibration_wall_s"] = 1.0
+    cur = _record_with(x=_rec(80.0))  # -20% raw...
+    cur["calibration_wall_s"] = 1.25  # ...on a 1.25x-slower box: 1.00x adjusted
+    failures, notes = compare_records(base, cur)
+    assert failures == []
+    assert any("machine-adjusted" in n for n in notes)
+    # A real regression is still caught even on a faster box.
+    cur2 = _record_with(x=_rec(85.0))
+    cur2["calibration_wall_s"] = 0.95  # faster box, still 0.81x adjusted
+    failures, _ = compare_records(base, cur2)
+    assert len(failures) == 1
+    assert "machine-adjusted" in failures[0]
+
+
+def test_compare_uncalibrated_baseline_gates_on_checksums_only():
+    base = _record_with(x=_rec(100.0))  # no calibration field (pre-PR-6 record)
+    cur = _record_with(x=_rec(50.0))
+    cur["calibration_wall_s"] = 1.0
+    failures, notes = compare_records(base, cur)
+    assert failures == []
+    assert any("calibration present in only one record" in n for n in notes)
+    drift = _record_with(x=_rec(100.0, checksum="bbb", sim_times={"final": "2.0"}))
+    failures, _ = compare_records(base, drift)
+    assert len(failures) == 1 and "checksum drift" in failures[0]
+
+
+def test_compare_checksum_only_skips_throughput_not_checksums():
+    base = _record_with(x=_rec(100.0))
+    cur = _record_with(x=_rec(50.0))  # -50%: fails the normal gate
+    failures, notes = compare_records(base, cur, checksum_only=True)
+    assert failures == []  # foreign-hardware mode: ev/s is a note only
+    assert any("0.50x" in n for n in notes)
+    drift = _record_with(x=_rec(100.0, checksum="bbb", sim_times={"final": "2.0"}))
+    failures, _ = compare_records(base, drift, checksum_only=True)
+    assert len(failures) == 1
+    assert "checksum drift" in failures[0]
+
+
 def test_compare_new_benchmark_is_note_not_failure():
     failures, notes = compare_records(_record_with(), _record_with(x=_rec(1.0)))
     assert failures == []

@@ -7,6 +7,7 @@ from repro.perfmodel.validate import (
     fft_speedup_crosscheck,
     pingpong_mode_crosscheck,
     run_all,
+    sharded_torus_crosscheck,
     smt_crosscheck,
 )
 
@@ -36,8 +37,19 @@ def test_fft_speedup_des_vs_model():
     assert c.ok, str(c)  # ...by a comparable factor
 
 
+def test_sharded_torus_transit_matches_hop_model():
+    """128-node sharded DES vs the closed-form extra-hop prediction.
+
+    The hop-latency delta is deterministic in the DES, so the two
+    engines must agree essentially exactly at the paper's node scale.
+    """
+    c = sharded_torus_crosscheck(nnodes=128, nshards=4)
+    assert c.ok, str(c)
+    assert c.ratio < 1.01
+
+
 def test_run_all_reports_every_check():
     checks = run_all()
-    assert len(checks) == 3
+    assert len(checks) == 4
     for c in checks:
         assert c.ok, str(c)
