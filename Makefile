@@ -24,10 +24,15 @@ shard-gate:      ## sharded-vs-serial equivalence gate: every gated benchmark mu
                  ## (docs/SCALING.md)
 	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main(['--shard-gate']))"
 
-chaos:           ## chaos suite: pingpong + m2m under seeded fault profiles with
-                 ## the checked DES engine; asserts bit-correct payloads and
-                 ## eventual quiescence on every (profile, seed) cell
-	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.chaosbench --profiles drop5 chaos --seeds 0 1 2
+chaos:           ## chaos suite: pingpong/m2m/jacobi/lattice under seeded fault
+                 ## profiles x delivery-QoS modes with the checked DES engine;
+                 ## reliable cells assert bit-correct payloads, best-effort cells
+                 ## the degraded-but-correct gate, all cells eventual quiescence
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.chaosbench \
+		--profiles drop5 chaos partition --seeds 0 1 2 \
+		--workloads pingpong m2m jacobi lattice \
+		--qos reliable best_effort fresh \
+		--json-out chaos_matrix.json
 
 trace-gate:      ## trace-diff regression gate: re-runs the figure trace configs
                  ## and diffs counters / utilization / critical-path length vs the

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Asynchronous Jacobi (chaotic relaxation) under lossy delivery.
+
+Runs the :mod:`repro.workloads.jacobi` chare-array solver across two
+simulated BG/Q nodes in each QoS mode (repro.faults.qos), fault-free
+and under the drop10 profile, and prints the converged residual plus
+the reliability-layer cost each mode paid.  The point of the demo:
+with a contraction-mapping sweep, best-effort halos converge to the
+same answer while sending no ACKs and keeping no retransmit state.
+
+Run:  python examples/jacobi_async.py
+"""
+
+from repro.charm import Charm
+from repro.converse import RunConfig
+from repro.converse.quiescence import QuiescenceDetector
+from repro.faults import FaultPlan
+from repro.faults.qos import QOS_BEST_EFFORT, QOS_BEST_EFFORT_FRESH, QOS_RELIABLE, qos_name
+from repro.sim import Environment
+from repro.workloads import build_jacobi
+
+HORIZON = 600e6
+
+
+def run_once(qos: int, profile=None, seed: int = 0):
+    plan = FaultPlan.profile(profile, seed=seed) if profile else None
+    env = Environment()
+    cfg = RunConfig(
+        nnodes=2,
+        workers_per_process=2,
+        comm_threads_per_process=1,
+        fault_plan=plan,
+    )
+    charm = Charm(cfg, env=env)
+    box = build_jacobi(charm, ncells=8, sweeps=60, qos=qos)
+    qd = QuiescenceDetector(charm.runtime, poll_interval_us=20.0)
+    quiesced = qd.start()
+    charm.start()
+    env.run(until=env.any_of([charm.done, quiesced, env.timeout(HORIZON)]))
+    env.run(until=env.any_of([quiesced, env.timeout(HORIZON)]))
+    charm.runtime.stop()
+    rels = [
+        c.reliability
+        for p in charm.runtime.processes
+        for c in p.client.contexts
+        if c.reliability is not None
+    ]
+    acks = sum(r.acks_sent for r in rels)
+    retries = sum(r.retries for r in rels)
+    label = profile or "faults-off"
+    print(
+        f"  {qos_name(qos):<11} {label:<10} residual={box['residual']:.3e} "
+        f"acks={acks:<4d} retries={retries:<3d} "
+        f"qd_msgs={qd.protocol_msgs} sim_us={env.now / 1600:.0f}"
+    )
+
+
+def main() -> None:
+    print("async Jacobi, 8 cells x 60 sweeps, 2 nodes (+1 comm thread each):")
+    for profile in (None, "drop10"):
+        for qos in (QOS_RELIABLE, QOS_BEST_EFFORT, QOS_BEST_EFFORT_FRESH):
+            run_once(qos, profile)
+
+
+if __name__ == "__main__":
+    main()

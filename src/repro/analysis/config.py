@@ -31,6 +31,11 @@ __all__ = ["Config", "load_config", "find_root"]
 _DEFAULT_PATHS = ("src", "tests")
 _DEFAULT_WALLCLOCK_ALLOW = ("src/repro/harness", "src/repro/trace")
 _DEFAULT_FAULTS_PATHS = ("src/repro/faults",)
+_DEFAULT_QOS_PATHS = (
+    "src/repro/faults",
+    "src/repro/pami",
+    "src/repro/converse",
+)
 _DEFAULT_TRACE_HOT_PATHS = (
     "src/repro/converse",
     "src/repro/pami",
@@ -56,6 +61,9 @@ class Config:
     #: Hot-path modules where T1 (tracer calls must be None-guarded,
     #: the zero-cost-when-disabled contract) applies.
     trace_hot_paths: Tuple[str, ...] = _DEFAULT_TRACE_HOT_PATHS
+    #: Transport/runtime trees where F2 (best-effort QoS branches must
+    #: not touch seq/pending reliable-transport state) applies.
+    qos_paths: Tuple[str, ...] = _DEFAULT_QOS_PATHS
 
     @property
     def baseline_path(self) -> Path:
@@ -95,4 +103,6 @@ def load_config(root: Optional[Path] = None) -> Config:
         cfg.faults_paths = tuple(table["faults-paths"])
     if "trace-hot-paths" in table:
         cfg.trace_hot_paths = tuple(table["trace-hot-paths"])
+    if "qos-paths" in table:
+        cfg.qos_paths = tuple(table["qos-paths"])
     return cfg

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, TYPE_CHECKING
 
+from ..faults.qos import QOS_BEST_EFFORT_FRESH
+
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import Charm
 
@@ -56,9 +58,19 @@ class Chare:
         result = yield from self._pe.thread.compute(instructions)
         return result
 
-    def send(self, index: Hashable, method: str, nbytes: int, *args: Any):
-        """Invoke ``method(*args)`` on element ``index`` of this array."""
-        yield from self._array.send_from(self._pe, index, method, nbytes, *args)
+    def send(
+        self, index: Hashable, method: str, nbytes: int, *args: Any,
+        qos: Optional[int] = None, fresh_key: Any = None,
+    ):
+        """Invoke ``method(*args)`` on element ``index`` of this array.
+
+        ``qos``/``fresh_key`` select per-send delivery semantics
+        (:mod:`repro.faults.qos`); None inherits the entry method's
+        registered default (``Charm.set_entry_qos``).
+        """
+        yield from self._array.send_from(
+            self._pe, index, method, nbytes, *args, qos=qos, fresh_key=fresh_key
+        )
 
     def send_prioritized(
         self, index: Hashable, method: str, nbytes: int, priority: int, *args: Any
@@ -133,16 +145,23 @@ class ChareArray:
     # -- messaging ---------------------------------------------------------
     def send_from(
         self, src_pe, index: Hashable, method: str, nbytes: int, *args: Any,
-        priority: int = 0,
+        priority: int = 0, qos: Optional[int] = None, fresh_key: Any = None,
     ):
-        """Send an entry-method invocation from ``src_pe`` (generator)."""
+        """Send an entry-method invocation from ``src_pe`` (generator).
+
+        FRESH sends default their supersede flow to ``(array, index,
+        method)`` so each destination element is its own flow even when
+        many chares share a PE.
+        """
         if index not in self.elements:
             raise KeyError(f"no element {index!r} in array {self.name!r}")
         dst_rank = self.home[index]
         payload = (self.name, index, method, args)
+        if qos == QOS_BEST_EFFORT_FRESH and fresh_key is None:
+            fresh_key = (self.name, index, method)
         yield from self.charm.runtime.send(
             src_pe, dst_rank, self.charm.entry_handler_id(method), nbytes, payload,
-            priority=priority,
+            priority=priority, qos=qos, fresh_key=fresh_key,
         )
 
     def broadcast_from(self, src_pe, method: str, nbytes: int, *args: Any):

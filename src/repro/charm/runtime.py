@@ -45,6 +45,7 @@ class Charm:
         self.reductions = ReductionManager(self)
         self._entry_hids: Dict[str, int] = {}
         self._categories: Dict[str, str] = {}
+        self._entry_qos: Dict[str, int] = {}
         self._sections: Dict[int, Section] = {}
         self._section_hid: Optional[int] = None
         self.done: Event = self.env.event()
@@ -77,6 +78,21 @@ class Charm:
             )
         self._categories[method_name] = category
 
+    def set_entry_qos(self, method_name: str, qos) -> None:
+        """Set an entry method's default delivery semantics.
+
+        ``qos`` is a :mod:`repro.faults.qos` constant or name
+        ("reliable" / "best_effort" / "fresh").  Must be called before
+        the first send of that method; per-send ``qos=`` overrides it.
+        """
+        from ..faults.qos import parse_qos
+
+        if method_name in self._entry_hids:
+            raise RuntimeError(
+                f"method {method_name!r} already has a registered handler"
+            )
+        self._entry_qos[method_name] = parse_qos(qos)
+
     def register_entries(self, method_names: Iterable[str]) -> None:
         """Pre-register entry handlers in a fixed order.
 
@@ -95,9 +111,12 @@ class Charm:
     def entry_handler_id(self, method_name: str) -> int:
         hid = self._entry_hids.get(method_name)
         if hid is None:
+            from ..faults.qos import QOS_RELIABLE
+
             hid = self.runtime.register_handler(
                 self._make_entry_handler(method_name),
                 category=self._categories.get(method_name, "compute"),
+                qos=self._entry_qos.get(method_name, QOS_RELIABLE),
             )
             self._entry_hids[method_name] = hid
         return hid
@@ -171,11 +190,11 @@ class Charm:
             charm = self
 
             def section_handler(pe, msg):
-                section_id, method, args, nbytes = msg.payload
+                section_id, method, args, nbytes, qos = msg.payload
                 section = charm._sections.get(section_id)
                 if section is None:
                     raise RuntimeError(f"unknown section {section_id}")
-                yield from section._deliver(pe, method, args, nbytes)
+                yield from section._deliver(pe, method, args, nbytes, qos)
 
             self._section_hid = self.runtime.register_handler(
                 section_handler, category="comm"

@@ -62,25 +62,31 @@ class Section:
         return self.pes[0]
 
     # -- multicast -----------------------------------------------------------
-    def multicast_from(self, src_pe, method: str, nbytes: int, *args: Any):
+    def multicast_from(self, src_pe, method: str, nbytes: int, *args: Any,
+                       qos: Optional[int] = None):
         """Deliver ``method(*args)`` to every member (generator).
 
         One message to the tree root, then one per tree edge; members
         co-located with a tree node receive by local invocation.
+        ``qos`` (a :mod:`repro.faults.qos` constant) rides in the
+        payload so every tree edge uses the same delivery semantics;
+        None means reliable.
         """
         self.multicasts += 1
         hid = self.charm.section_handler_id()
-        payload = (self.section_id, method, args, nbytes)
+        payload = (self.section_id, method, args, nbytes, qos)
         yield from self.charm.runtime.send(
-            src_pe, self.root_pe, hid, nbytes, payload
+            src_pe, self.root_pe, hid, nbytes, payload, qos=qos
         )
 
-    def _deliver(self, pe, method: str, args: tuple, nbytes: int):
+    def _deliver(self, pe, method: str, args: tuple, nbytes: int,
+                 qos: Optional[int] = None):
         """Runs on a tree-node PE: forward down, then invoke locally."""
         hid = self.charm.section_handler_id()
-        payload = (self.section_id, method, args, nbytes)
+        payload = (self.section_id, method, args, nbytes, qos)
         for child in self.children_of(pe.rank):
-            yield from self.charm.runtime.send(pe, child, hid, nbytes, payload)
+            yield from self.charm.runtime.send(pe, child, hid, nbytes, payload,
+                                               qos=qos)
         entry_instr = self.charm.params.charm_entry_instr
         for idx in self.local_members.get(pe.rank, []):
             chare = self.array.element(idx)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults.qos import QOS_RELIABLE
 from ..pami.manytomany import ManyToManyHandle
 from ..sim import Event
 from .machine import ConverseRuntime
@@ -37,10 +38,16 @@ class CmiDirectHandle:
         expected_recvs: int,
         on_message: Optional[Callable[[int, Any], None]] = None,
         completion_handler: Optional[int] = None,
+        qos: int = QOS_RELIABLE,
+        deadline_cycles: Optional[float] = None,
     ) -> None:
         self.runtime = runtime
         self.tag = tag
         self.pe = pe
+        #: Burst delivery semantics (repro.faults.qos) + best-effort
+        #: completion deadline; see ManyToManyHandle.
+        self.qos = qos
+        self.deadline_cycles = deadline_cycles
         #: [(dst_pe_rank, nbytes, data)] or [(dst_pe_rank, nbytes, data,
         #: recv_tag)] — recv_tag addresses a different handle at the
         #: destination process (defaults to this handle's tag).
@@ -61,7 +68,8 @@ class CmiDirectHandle:
             ep = runtime.rank_endpoint(dst_rank)
             endpoint_sends.append((ep, nbytes, (dst_rank, data), recv_tag))
         self._m2m: ManyToManyHandle = proc.m2m.register(
-            tag, endpoint_sends, expected_recvs
+            tag, endpoint_sends, expected_recvs,
+            qos=qos, deadline_cycles=deadline_cycles,
         )
         self._m2m.on_message = self._arrived
         self._arm_completion_watcher()
@@ -79,6 +87,12 @@ class CmiDirectHandle:
     @property
     def send_done(self) -> Event:
         return self._m2m.send_done
+
+    @property
+    def shortfall(self) -> int:
+        """Expected-but-missing receives across deadline-completed
+        iterations (best-effort handles only; 0 under reliable qos)."""
+        return self._m2m.shortfall
 
     def reset(self) -> None:
         """Re-arm for the next iteration."""
@@ -143,6 +157,8 @@ class CmiDirectManytomany:
         expected_recvs: int,
         on_message: Optional[Callable[[int, Any], None]] = None,
         completion_handler: Optional[int] = None,
+        qos: int = QOS_RELIABLE,
+        deadline_cycles: Optional[float] = None,
     ) -> CmiDirectHandle:
         """Register one PE's side of a many-to-many pattern.
 
@@ -150,13 +166,18 @@ class CmiDirectManytomany:
         handle per tag (the underlying PAMI registry is per-process);
         by convention the first PE of each process registers.
 
+        ``qos``/``deadline_cycles`` select the burst's delivery
+        semantics and, for best-effort modes, how long the receive side
+        waits before completing with shortfall (repro.faults.qos).
+
         Returns ``None`` when ``pe`` is a remote placeholder (sharded
         runs): the shard owning the PE registers the handle.
         """
         if pe is None:
             return None
         h = CmiDirectHandle(
-            self.runtime, tag, pe, sends, expected_recvs, on_message, completion_handler
+            self.runtime, tag, pe, sends, expected_recvs, on_message,
+            completion_handler, qos=qos, deadline_cycles=deadline_cycles,
         )
         self._tags.setdefault(tag, []).append(h)
         return h

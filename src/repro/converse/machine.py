@@ -35,7 +35,13 @@ from ..bgq.machine import BGQMachine
 from ..bgq.node import HWThread, Node
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
 from ..bgq.wakeup import WakeupSource
-from ..faults import FAULT_TRACK, FaultInjector, FaultPlan
+from ..faults import (
+    FAULT_TRACK,
+    FaultInjector,
+    FaultPlan,
+    QOS_BEST_EFFORT_FRESH,
+    QOS_RELIABLE,
+)
 from ..pami.commthread import CommThread
 from ..pami.context import AMPayload, Endpoint, PamiClient, PamiContext
 from ..pami.manytomany import ManyToManyRegistry
@@ -259,8 +265,16 @@ class ConverseRuntime:
 
         self.handlers: List[Callable] = []
         self.handler_categories: Dict[int, str] = {}
+        #: Per-handler default delivery semantics (repro.faults.qos);
+        #: unregistered ids default to QOS_RELIABLE.
+        self.handler_qos: Dict[int, int] = {}
         #: Cumulative machine-layer sends (quiescence accounting).
+        #: Counts reliable sends only: a best-effort send may legally
+        #: never be executed anywhere, so charging it to `created`
+        #: would wedge the detector's `processed >= created` condition.
         self.messages_sent = 0
+        #: Best-effort / FRESH sends (never in quiescence `created`).
+        self.best_effort_sends = 0
         # Native send/delivery statistics (always maintained; snapshotted
         # into the tracer's counters by _flush_stats at Tracer.finish()).
         self.messages_delivered = 0
@@ -423,6 +437,7 @@ class ConverseRuntime:
         put("converse.intraprocess_sends", self.intraprocess_sends)
         put("converse.eager_sends", self.eager_sends)
         put("converse.rendezvous_sends", self.rendezvous_sends)
+        put("converse.best_effort_sends", self.best_effort_sends)
         put("queue.enqueues", sum(pe.queue.enqueues for pe in pes))
         put("queue.dequeues", sum(pe.queue.dequeues for pe in pes))
         nodes = [node for node in self.machine.nodes if node is not None]
@@ -464,6 +479,9 @@ class ConverseRuntime:
             put("rel.reordered_accepted", sum(r.reordered_accepted for r in rels))
             put("rel.acks_sent", sum(r.acks_sent for r in rels))
             put("rel.corrupt_dropped", sum(r.corrupt_dropped for r in rels))
+            put("rel.stale_dropped", sum(r.stale_dropped for r in rels))
+            put("rel.holes_skipped", sum(r.holes_skipped for r in rels))
+            put("rel.timers_cancelled", sum(r.timers_cancelled for r in rels))
             put("rel.in_flight_at_finish", sum(r.in_flight for r in rels))
         put("qd.rounds", self.qd_rounds)
         put("qd.protocol_msgs", self.qd_protocol_msgs)
@@ -496,15 +514,22 @@ class ConverseRuntime:
         return (node_id, proc_in_node * contexts_per_process + ctx_index)
 
     # -- handler registry ------------------------------------------------------
-    def register_handler(self, fn: Callable, category: str = "sched") -> int:
+    def register_handler(
+        self, fn: Callable, category: str = "sched", qos: int = QOS_RELIABLE
+    ) -> int:
         """Register a Converse handler ``fn(pe, msg)``; returns its id.
 
         ``category`` labels the handler's timeline segments (Figs. 3/9/10
         colours): integrate / nonbonded / pme / comm / sched ...
+
+        ``qos`` sets the *default* delivery semantics for sends that
+        target this handler (:mod:`repro.faults.qos`); a per-send
+        ``qos=`` argument to :meth:`send` overrides it.
         """
         self.handlers.append(fn)
         hid = len(self.handlers) - 1
         self.handler_categories[hid] = category
+        self.handler_qos[hid] = qos
         return hid
 
     # -- lifecycle ------------------------------------------------------------
@@ -544,8 +569,19 @@ class ConverseRuntime:
         nbytes: int,
         payload: Any,
         priority: int = 0,
+        qos: Optional[int] = None,
+        fresh_key: Any = None,
     ):
-        """CmiSyncSend (generator); runs on the sending PE's thread."""
+        """CmiSyncSend (generator); runs on the sending PE's thread.
+
+        ``qos=None`` (the default) inherits the destination handler's
+        registered delivery mode; pass an explicit
+        :mod:`repro.faults.qos` constant to override per send.  FRESH
+        sends supersede per ``fresh_key`` flow — defaulting to
+        ``(handler_id, src_rank, dst_rank)`` so distinct handler/rank
+        pairs never alias; applications carrying several logical flows
+        over one handler (e.g. per-chare halos) pass their own key.
+        """
         env = self.env
         p = self.params
         if not 0 <= dst_rank < len(self.pes):
@@ -555,7 +591,19 @@ class ConverseRuntime:
         thread = src_pe.thread
         proc = src_pe.process
         dst_pe = self.pes[dst_rank]
-        self.messages_sent += 1
+        if qos is None:
+            qos = self.handler_qos.get(handler_id, QOS_RELIABLE)
+        if nbytes > p.rendezvous_threshold:
+            # Rendezvous is a three-way control protocol (RTS/rget/ACK);
+            # losing any leg leaks a buffer and wedges the sender, so
+            # large messages always ride the reliable transport.
+            qos = QOS_RELIABLE
+        if qos == QOS_RELIABLE:
+            self.messages_sent += 1
+        else:
+            self.best_effort_sends += 1
+            if qos == QOS_BEST_EFFORT_FRESH and fresh_key is None:
+                fresh_key = (handler_id, src_pe.rank, dst_rank)
         src_pe.msgs_sent += 1
         src_pe.bytes_sent += nbytes
         rec = self.tracer
@@ -608,19 +656,28 @@ class ConverseRuntime:
             if proc.comm_threads:
                 ctx = proc.next_send_context()
 
-                def send_work(c: PamiContext, t: HWThread, _data=data, _n=nbytes):
+                def send_work(c: PamiContext, t: HWThread, _data=data, _n=nbytes,
+                              _qos=qos, _fk=fresh_key):
                     if _n <= p.packet_payload_max:
-                        yield from c.send_immediate(t, endpoint, DISPATCH_EAGER, _n, _data)
+                        yield from c.send_immediate(
+                            t, endpoint, DISPATCH_EAGER, _n, _data, _qos, _fk
+                        )
                     else:
-                        yield from c.send(t, endpoint, DISPATCH_EAGER, _n, _data)
+                        yield from c.send(
+                            t, endpoint, DISPATCH_EAGER, _n, _data, _qos, _fk
+                        )
 
                 yield from ctx.post_work(thread, send_work)
             else:
                 ctx = src_pe.context
                 if nbytes <= p.packet_payload_max:
-                    yield from ctx.send_immediate(thread, endpoint, DISPATCH_EAGER, nbytes, data)
+                    yield from ctx.send_immediate(
+                        thread, endpoint, DISPATCH_EAGER, nbytes, data, qos, fresh_key
+                    )
                 else:
-                    yield from ctx.send(thread, endpoint, DISPATCH_EAGER, nbytes, data)
+                    yield from ctx.send(
+                        thread, endpoint, DISPATCH_EAGER, nbytes, data, qos, fresh_key
+                    )
             # Eager: the machine layer owns the payload now.
             yield from proc.alloc.free(thread, buf)
         else:

@@ -23,6 +23,12 @@ The in-flight test also counts packets held by the reliability layer
 to every FIFO/queue but is *not* yet processed, and ignoring it lets
 the detector declare quiescence while a retransmit is still pending —
 the message race this PR's regression test pins down.
+
+QoS accounting (see ``_totals``): best-effort and FRESH sends never
+count as created or in-flight — dropping one must not block
+quiescence — and transport-internal ACK traffic is excluded from every
+counter; given-up reliable sends are credited back so a partitioned
+network still quiesces once the transport abandons them.
 """
 
 from __future__ import annotations
@@ -63,6 +69,20 @@ class QuiescenceDetector:
         # Cumulative sends through the machine layer vs executions.
         # Messages seeded directly into a PE's local queue only inflate
         # `processed`, so the quiescent condition is processed >= sent.
+        #
+        # Accounting rules (the QoS contract, docs/ARCHITECTURE.md):
+        # * `created` counts reliable machine-layer sends only.  Best-
+        #   effort/FRESH sends (rt.best_effort_sends) may legally never
+        #   execute anywhere — charging them would wedge the detector
+        #   the first time one is dropped.  A *delivered* best-effort
+        #   message inflates `processed` instead, which the >= condition
+        #   absorbs.
+        # * Transport ACKs are excluded on every axis: posted outside
+        #   the machine layer (not in messages_sent), consumed by the
+        #   reliability gate before dispatch (not in messages_executed),
+        #   unstamped (never in rel.pending).  Their only footprint is
+        #   the FIFO/queue occupancy below while one is physically in
+        #   flight — which is exactly the non-quiescent window.
         created = rt.messages_sent
         processed = 0
         for pe in rt.pes:
@@ -81,6 +101,12 @@ class QuiescenceDetector:
                 rel = ctx.reliability
                 if rel is not None:
                     pending += rel.in_flight
+                    # A given-up send was `created` but will never be
+                    # executed; credit it as processed or a partitioned
+                    # network never satisfies processed >= created.
+                    # (Give-ups on PAMI-level traffic that never touched
+                    # messages_sent only widen the >= margin.)
+                    processed += rel.gave_up
         for pe in rt.pes:
             pending += len(pe.queue) + len(pe.local_q) + len(pe._heap)
         return created, processed, pending

@@ -89,10 +89,17 @@ class PE:
         nbytes: int,
         payload: Any = None,
         priority: int = 0,
+        qos: Optional[int] = None,
+        fresh_key: Any = None,
     ):
-        """CmiSyncSend: deliver a message to another PE (generator)."""
+        """CmiSyncSend: deliver a message to another PE (generator).
+
+        ``qos``/``fresh_key`` select delivery semantics per send
+        (:mod:`repro.faults.qos`); None inherits the handler's default.
+        """
         yield from self.runtime.send(
-            self, dst_rank, handler_id, nbytes, payload, priority=priority
+            self, dst_rank, handler_id, nbytes, payload, priority=priority,
+            qos=qos, fresh_key=fresh_key,
         )
 
     # -- scheduler -------------------------------------------------------------

@@ -13,6 +13,9 @@ the retry/timeout overheads Task Bench-style studies quantify.
 * :mod:`repro.faults.injector` — :class:`FaultInjector`: draws from
   named :class:`~repro.sim.rng.StreamRegistry` streams at the
   ``bgq/network.py`` and ``bgq/mu.py`` choke points.
+* :mod:`repro.faults.qos` — per-dispatch delivery-semantics modes
+  (``QOS_RELIABLE`` / ``QOS_BEST_EFFORT`` / ``QOS_BEST_EFFORT_FRESH``)
+  threaded from handler registration down to ``PamiContext._post``.
 * :mod:`repro.faults.recovery` — :class:`ReliableTransport`: sequence-
   numbered sends with ACK/timeout/exponential-backoff retransmit,
   duplicate suppression, and graceful-degradation counters, hooked into
@@ -25,6 +28,14 @@ identical to a build without this package (bench-gate enforced).
 
 from .injector import FAULT_TRACK, FaultInjector, FaultStats
 from .plan import FaultPlan, FaultRates, LinkDownWindow, PROFILES
+from .qos import (
+    QOS_BEST_EFFORT,
+    QOS_BEST_EFFORT_FRESH,
+    QOS_NAMES,
+    QOS_RELIABLE,
+    parse_qos,
+    qos_name,
+)
 from .recovery import RELIABLE_ACK_DISPATCH, ReliableTransport, RetryPolicy
 
 __all__ = [
@@ -35,7 +46,13 @@ __all__ = [
     "FaultRates",
     "LinkDownWindow",
     "PROFILES",
+    "QOS_BEST_EFFORT",
+    "QOS_BEST_EFFORT_FRESH",
+    "QOS_NAMES",
+    "QOS_RELIABLE",
     "RELIABLE_ACK_DISPATCH",
     "ReliableTransport",
     "RetryPolicy",
+    "parse_qos",
+    "qos_name",
 ]

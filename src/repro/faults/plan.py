@@ -198,4 +198,12 @@ PROFILES: Dict[str, Dict] = {
         "link": FaultRates(drop=0.01),
         "down": (LinkDownWindow(None, None, 100_000.0, 400_000.0),),
     },
+    # Permanent partition: every link down for the whole run — longer
+    # than the full retransmit ladder (25 us * (2^13 - 1) ~ 328 M
+    # cycles), so every reliable send exhausts its retries and gives
+    # up.  The chaosbench degraded-but-correct axis asserts the run
+    # still quiesces instead of hanging.
+    "partition": {
+        "down": (LinkDownWindow(None, None, 0.0, 1.0e15),),
+    },
 }

@@ -1,0 +1,76 @@
+"""Delivery-semantics QoS modes for the simulated transport.
+
+Per-dispatch knob threaded from ``charm``/``converse`` handler
+registration down to ``PamiContext._post`` (see the reliability layer
+in :mod:`repro.faults.recovery`):
+
+* ``QOS_RELIABLE`` — sequence-stamped, ACKed, retransmitted; held in
+  the transport's ``pending`` table and counted as in-flight by the
+  quiescence detector.  Today's default; semantics unchanged.
+* ``QOS_BEST_EFFORT`` — no sequence stamp, no ACK, no retransmit
+  timer, no ``pending`` entry.  A dropped packet is simply gone; the
+  application owes its own tolerance (chaotic relaxation, halo
+  staleness bounds).  Never counted as in-flight.
+* ``QOS_BEST_EFFORT_FRESH`` — unstamped like best-effort, but each
+  send carries a per-``(dest, key)`` generation number and the
+  receiver drops arrivals older than the newest it has seen: a newer
+  send to the same flow supersedes an undelivered (or reordered /
+  duplicated) older one.  The natural mode for "latest value wins"
+  halo exchange.
+
+The constants are small ints (not an Enum) so the per-send comparison
+on the hot path is a plain ``==`` between ints, and the enum-default
+guard in ``_post`` keeps reliable-mode trajectories cycle-for-cycle
+identical to builds without this module.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "QOS_RELIABLE",
+    "QOS_BEST_EFFORT",
+    "QOS_BEST_EFFORT_FRESH",
+    "QOS_NAMES",
+    "parse_qos",
+    "qos_name",
+]
+
+QOS_RELIABLE = 0
+QOS_BEST_EFFORT = 1
+QOS_BEST_EFFORT_FRESH = 2
+
+#: Human-readable names (chaosbench matrix axis, reports, CLIs).
+QOS_NAMES = {
+    QOS_RELIABLE: "reliable",
+    QOS_BEST_EFFORT: "best_effort",
+    QOS_BEST_EFFORT_FRESH: "fresh",
+}
+
+_BY_NAME = {
+    "reliable": QOS_RELIABLE,
+    "best_effort": QOS_BEST_EFFORT,
+    "best-effort": QOS_BEST_EFFORT,
+    "fresh": QOS_BEST_EFFORT_FRESH,
+    "best_effort_fresh": QOS_BEST_EFFORT_FRESH,
+}
+
+
+def qos_name(qos: int) -> str:
+    """The canonical name of a QoS constant."""
+    try:
+        return QOS_NAMES[qos]
+    except KeyError:
+        raise ValueError(f"unknown QoS mode {qos!r}") from None
+
+
+def parse_qos(spec) -> int:
+    """Accept a constant or a name ("reliable" / "best_effort" / "fresh")."""
+    if isinstance(spec, int):
+        if spec in QOS_NAMES:
+            return spec
+        raise ValueError(f"unknown QoS mode {spec!r}")
+    try:
+        return _BY_NAME[str(spec).strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValueError(f"unknown QoS mode {spec!r} (known: {known})") from None

@@ -27,6 +27,10 @@ from ..bgq.mu import Descriptor
 from ..bgq.network import MEMFIFO
 from ..bgq.node import HWThread, Node
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..faults.qos import (
+    QOS_BEST_EFFORT_FRESH as _QOS_FRESH,
+    QOS_RELIABLE as _QOS_RELIABLE,
+)
 from ..faults.recovery import RELIABLE_ACK_DISPATCH as _RELIABLE_ACK_DISPATCH
 from ..queues import L2AtomicQueue
 from ..sim import Environment
@@ -43,7 +47,8 @@ _PER_PACKET_INSTR = 70.0
 class AMPayload:
     """What travels inside a descriptor for an active-message send."""
 
-    __slots__ = ("dispatch_id", "data", "nbytes", "src_endpoint", "seq")
+    __slots__ = ("dispatch_id", "data", "nbytes", "src_endpoint", "seq",
+                 "fresh_key", "fresh_gen")
 
     def __init__(self, dispatch_id: int, data: Any, nbytes: int, src_endpoint: Endpoint):
         self.dispatch_id = dispatch_id
@@ -53,6 +58,10 @@ class AMPayload:
         #: Per-(source context, destination endpoint) sequence number,
         #: stamped by the reliability layer; None on unstamped sends.
         self.seq: Optional[int] = None
+        #: QOS_BEST_EFFORT_FRESH flow key + generation (stamp_fresh);
+        #: both None on reliable and plain best-effort sends.
+        self.fresh_key = None
+        self.fresh_gen: Optional[int] = None
 
 
 class PamiContext:
@@ -127,6 +136,8 @@ class PamiContext:
         dispatch_id: int,
         nbytes: int,
         data: Any = None,
+        qos: int = _QOS_RELIABLE,
+        fresh_key: Any = None,
     ):
         """PAMI_Send_immediate: copy payload+metadata, one MU descriptor.
 
@@ -139,7 +150,7 @@ class PamiContext:
                 f"send_immediate limited to {p.packet_payload_max} B, got {nbytes}"
             )
         yield from thread.compute(p.pami_send_imm_instr)
-        desc = self._post(dest, dispatch_id, nbytes, data)
+        desc = self._post(dest, dispatch_id, nbytes, data, qos, fresh_key)
         return desc
 
     def send(
@@ -149,21 +160,40 @@ class PamiContext:
         dispatch_id: int,
         nbytes: int,
         data: Any = None,
+        qos: int = _QOS_RELIABLE,
+        fresh_key: Any = None,
     ):
         """PAMI_Send: two MU descriptors (metadata + payload)."""
         p = self.params
         yield from thread.compute(p.pami_send_instr)
-        desc = self._post(dest, dispatch_id, nbytes, data)
+        desc = self._post(dest, dispatch_id, nbytes, data, qos, fresh_key)
         return desc
 
-    def _post(self, dest: Endpoint, dispatch_id: int, nbytes: int, data: Any) -> Descriptor:
+    def _post(
+        self,
+        dest: Endpoint,
+        dispatch_id: int,
+        nbytes: int,
+        data: Any,
+        qos: int = _QOS_RELIABLE,
+        fresh_key: Any = None,
+    ) -> Descriptor:
         dst_node, dst_fifo = dest
         payload = AMPayload(dispatch_id, data, nbytes, self.endpoint)
         rel = self.reliability
         if rel is not None and dispatch_id != _RELIABLE_ACK_DISPATCH:
-            # ACKs travel unstamped (no ACK-of-ACK); everything else is
-            # sequence-numbered and armed for retransmit.
-            rel.stamp(payload, dest)
+            # ACKs travel unstamped (no ACK-of-ACK).  Reliable sends are
+            # sequence-numbered and armed for retransmit; FRESH sends
+            # carry a supersede generation; plain best-effort sends skip
+            # the transport entirely (the enum-default guard keeps the
+            # reliable trajectory identical to pre-QoS builds).
+            if qos == _QOS_RELIABLE:
+                rel.stamp(payload, dest)
+            elif qos == _QOS_FRESH:
+                rel.stamp_fresh(
+                    payload, dest,
+                    fresh_key if fresh_key is not None else dispatch_id,
+                )
         desc = self.node.mu.make_descriptor(
             dst=dst_node,
             nbytes=max(nbytes, 1),

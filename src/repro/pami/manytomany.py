@@ -12,6 +12,16 @@ lower per-message cost and in parallel across several injection FIFOs.
 Completion has two sides, as in PAMI: the *send-done* callback when all
 local sends are injected, and the *receive-done* callback when all
 expected messages of the handle's tag have arrived.
+
+Delivery semantics are per handle (:mod:`repro.faults.qos`): a
+``QOS_BEST_EFFORT`` / ``QOS_BEST_EFFORT_FRESH`` handle posts its burst
+unstamped — no ACKs, no retransmit state — and its receive-done side
+*tolerates shortfall*: when ``deadline_cycles`` is set, ``start()``
+arms a watcher that force-fires ``recv_done`` at the deadline if the
+expected count has not been reached, accumulating the missing count in
+``handle.shortfall``.  FRESH bursts additionally key each send slot as
+its own supersede flow, so a re-started iteration's value replaces a
+still-undelivered older one instead of arriving after it.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bgq.node import HWThread
 from ..bgq.params import BGQParams, DEFAULT_PARAMS
+from ..faults.qos import QOS_BEST_EFFORT_FRESH, QOS_RELIABLE
 from ..sim import Environment, Event
 from .commthread import CommThread
 from .context import AMPayload, Endpoint, PamiContext
@@ -39,6 +50,11 @@ class ManyToManyHandle:
     destination (defaults to this handle's tag — symmetric patterns).
     ``expected_recvs`` — how many messages addressed to this handle's
     tag will arrive per iteration.
+
+    ``qos`` — delivery semantics for the burst (default reliable).
+    ``deadline_cycles`` — with a best-effort qos, how long after
+    ``start()`` the receive side waits before declaring the iteration
+    complete-with-shortfall (None = wait forever, reliable-style).
     """
 
     def __init__(
@@ -47,6 +63,8 @@ class ManyToManyHandle:
         tag,
         sends: Sequence[Tuple],
         expected_recvs: int,
+        qos: int = QOS_RELIABLE,
+        deadline_cycles: Optional[float] = None,
     ) -> None:
         self.env = env
         self.tag = tag
@@ -60,10 +78,17 @@ class ManyToManyHandle:
             else:
                 raise ValueError(f"bad many-to-many send entry {entry!r}")
         self.expected_recvs = int(expected_recvs)
+        self.qos = qos
+        self.deadline_cycles = deadline_cycles
         self._recv_count = 0
         self.send_done: Event = env.event()
         self.recv_done: Event = env.event()
         self.starts = 0
+        #: Cumulative expected-but-missing receives across iterations
+        #: whose deadline fired before the count was reached.
+        self.shortfall = 0
+        #: Iterations that completed via the deadline, not the count.
+        self.deadline_completions = 0
         #: Optional sink invoked per arrived message: fn(src_endpoint, data).
         self.on_message = None
 
@@ -116,10 +141,15 @@ class ManyToManyRegistry:
         tag,
         sends: Sequence[Tuple],
         expected_recvs: int,
+        qos: int = QOS_RELIABLE,
+        deadline_cycles: Optional[float] = None,
     ) -> ManyToManyHandle:
         if tag in self.handles:
             raise ValueError(f"many-to-many tag {tag} already registered")
-        h = ManyToManyHandle(self.env, tag, sends, expected_recvs)
+        h = ManyToManyHandle(
+            self.env, tag, sends, expected_recvs,
+            qos=qos, deadline_cycles=deadline_cycles,
+        )
         self.handles[tag] = h
         return h
 
@@ -131,6 +161,26 @@ class ManyToManyRegistry:
         # Amortized per-message receive cost.
         yield from thread.compute(self.params.m2m_per_msg_instr)
         handle._note_arrival(payload)
+
+    def _arm_shortfall_watcher(self, handle: ManyToManyHandle) -> None:
+        """Force recv_done at the deadline, counting what never arrived.
+
+        Captures this iteration's ``recv_done`` locally: a reset() that
+        re-arms the handle mints a fresh event, so a late deadline for
+        a normally-completed iteration is a no-op.
+        """
+        env = self.env
+        recv_done = handle.recv_done
+        deadline = env.timeout(handle.deadline_cycles)
+
+        def watch():
+            yield env.any_of([recv_done, deadline])
+            if not recv_done.triggered:
+                handle.shortfall += handle.expected_recvs - handle._recv_count
+                handle.deadline_completions += 1
+                recv_done.succeed()
+
+        env.process(watch(), name=f"m2m-{handle.tag}-shortfall")
 
     # -- start ---------------------------------------------------------------
     def start(self, thread: HWThread, handle: ManyToManyHandle):
@@ -145,22 +195,33 @@ class ManyToManyRegistry:
         yield from thread.compute(p.m2m_start_instr)
         if handle.expected_recvs == 0 and not handle.recv_done.triggered:
             handle.recv_done.succeed()
+        elif handle.qos != QOS_RELIABLE and handle.deadline_cycles is not None:
+            self._arm_shortfall_watcher(handle)
         if not handle.sends:
             if not handle.send_done.triggered:
                 handle.send_done.succeed()
             return
 
         nworkers = max(1, len(self.comm_threads))
-        chunks: List[List[Tuple[Endpoint, int, Any]]] = [[] for _ in range(nworkers)]
+        chunks: List[List[Tuple[int, Tuple[Endpoint, int, Any, Any]]]] = [
+            [] for _ in range(nworkers)
+        ]
         for i, send in enumerate(handle.sends):
-            chunks[i % nworkers].append(send)
+            # The slot index rides along as the FRESH flow key suffix:
+            # each registered send slot is its own supersede flow.
+            chunks[i % nworkers].append((i, send))
         pending = {"count": sum(1 for c in chunks if c)}
+        qos = handle.qos
+        fresh = qos == QOS_BEST_EFFORT_FRESH
 
         def make_work(chunk):
             def work(ctx: PamiContext, wthread: HWThread):
-                for dest, nbytes, data, recv_tag in chunk:
+                for slot, (dest, nbytes, data, recv_tag) in chunk:
                     yield from wthread.compute(p.m2m_per_msg_instr)
-                    desc = ctx._post(dest, M2M_DISPATCH_ID, nbytes, (recv_tag, data))
+                    ctx._post(
+                        dest, M2M_DISPATCH_ID, nbytes, (recv_tag, data), qos,
+                        (recv_tag, slot) if fresh else None,
+                    )
                 pending["count"] -= 1
                 if pending["count"] == 0 and not handle.send_done.triggered:
                     handle.send_done.succeed()

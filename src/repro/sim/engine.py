@@ -182,6 +182,22 @@ class Event:
         else:
             self.succeed(event._value)
 
+    def cancel(self) -> None:
+        """Lazily retire a scheduled event: its pop becomes a no-op.
+
+        Heap entries cannot be removed in O(log n) (and a
+        :class:`Timeout` is heap-scheduled at construction), so
+        cancellation marks the event processed and drops its callbacks;
+        when ``step()`` eventually pops the entry it dispatches nothing.
+        Any generator suspended on the event is abandoned — only cancel
+        events whose sole waiter should die with them (the reliability
+        layer's retransmit timers are the canonical case).  Idempotent;
+        also safe on an event that already fired.
+        """
+        self.callbacks = None
+        self._state = _PROCESSED
+        self._defused = True
+
     # -- engine internals ---------------------------------------------
     def _add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb`` (event must not be processed yet)."""

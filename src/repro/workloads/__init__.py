@@ -1,0 +1,30 @@
+"""Fault-tolerant application workloads for the chaos harness.
+
+Two degraded-but-correct applications exercise the QoS delivery modes
+(:mod:`repro.faults.qos`) end to end:
+
+* :mod:`repro.workloads.jacobi` — asynchronous Jacobi / chaotic
+  relaxation on a damped 1-D chain, a Charm++ chare-array app whose
+  halo exchanges tolerate drops and staleness (contraction ensures
+  convergence as long as *some* halos get through);
+* :mod:`repro.workloads.lattice` — a JLQCD-style 4D lattice
+  halo-exchange stencil over two SMP processes, driving the CmiDirect
+  many-to-many burst path with best-effort deadlines and per-site
+  staleness accounting.
+
+Both are wired into :mod:`repro.harness.chaosbench` as the
+degraded-but-correct gate axis.
+"""
+
+from .jacobi import JacobiCell, build_jacobi, exact_solution, forcing
+from .lattice import LatticeHalo, SITES, site_value
+
+__all__ = [
+    "JacobiCell",
+    "build_jacobi",
+    "exact_solution",
+    "forcing",
+    "LatticeHalo",
+    "SITES",
+    "site_value",
+]

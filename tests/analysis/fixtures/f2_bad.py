@@ -1,0 +1,21 @@
+"""F2 bad: best-effort QoS branches that touch reliable-transport state.
+
+A best-effort/FRESH send must leave zero transport footprint; every
+branch below reintroduces one — a sequence stamp, a `pending` record,
+or a `_next_seq` advance — under a best-effort guard.
+"""
+
+QOS_RELIABLE = 0
+QOS_BEST_EFFORT = 1
+QOS_BEST_EFFORT_FRESH = 2
+_QOS_FRESH = QOS_BEST_EFFORT_FRESH
+
+
+def post(self, payload, dest, qos):
+    if qos == QOS_BEST_EFFORT:
+        # Stamping creates a pending record and an ACK obligation.
+        self.rel.stamp(payload, dest)
+    if qos == _QOS_FRESH:
+        payload.seq = self.rel._next_seq.get(dest, 0)
+    if qos != QOS_RELIABLE:
+        self.rel.pending[(dest, payload.seq)] = payload

@@ -1,0 +1,24 @@
+"""F2 good: QoS branching with a clean best-effort path.
+
+The reliable branch may stamp (that is its job); the FRESH branch only
+calls ``stamp_fresh`` (generation counters, no pending/seq state), and
+the best-effort deadline branch arms a watcher without touching the
+transport at all.
+"""
+
+QOS_RELIABLE = 0
+QOS_BEST_EFFORT_FRESH = 2
+_QOS_FRESH = QOS_BEST_EFFORT_FRESH
+_QOS_RELIABLE = QOS_RELIABLE
+
+
+def post(self, payload, dest, qos, fresh_key):
+    if qos == _QOS_RELIABLE:
+        self.rel.stamp(payload, dest)
+    elif qos == _QOS_FRESH:
+        self.rel.stamp_fresh(payload, dest, fresh_key)
+
+
+def start(self, handle):
+    if handle.qos != QOS_RELIABLE and handle.deadline_cycles is not None:
+        self._arm_shortfall_watcher(handle)

@@ -101,6 +101,60 @@ def test_f1_inert_on_fixture_dir_by_default():
     assert violations == [], [v.format() for v in violations]
 
 
+# -- F2: best-effort QoS branches must not touch transport state -----------
+#
+# F2 is path-scoped to the transport/runtime trees (qos-paths), so its
+# fixture pair is mapped into scope like F1's.
+
+
+def _analyze_f2(filename):
+    from repro.analysis.config import Config
+
+    cfg = Config(qos_paths=("f2_bad.py", "f2_good.py"))
+    analyzer = Analyzer(FIXTURES, default_rules(cfg), baseline=None)
+    return analyzer.analyze_file(FIXTURES / filename).violations
+
+
+def test_f2_fires_on_transport_state_in_best_effort_branch():
+    violations = _analyze_f2("f2_bad.py")
+    assert {v.rule for v in violations} == {"F2"}
+    # stamp() call + .seq store + ._next_seq touch + .pending touch
+    assert len(violations) >= 4
+
+
+def test_f2_silent_on_clean_qos_branching():
+    """Reliable-branch stamping and FRESH stamp_fresh are both legal."""
+    violations = _analyze_f2("f2_good.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_f2_scoped_to_qos_paths():
+    rules = default_rules()
+    f2 = next(r for r in rules if r.id == "F2")
+    assert f2.applies_to("src/repro/faults/recovery.py")
+    assert f2.applies_to("src/repro/pami/context.py")
+    assert f2.applies_to("src/repro/converse/machine.py")
+    assert not f2.applies_to("src/repro/charm/chare.py")
+    assert not f2.applies_to("tests/faults/test_qos.py")
+
+
+def test_f2_inert_on_fixture_dir_by_default():
+    violations = _analyze(FIXTURES / "f2_bad.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_f2_clean_on_the_transport_tree():
+    """The shipped QoS branches satisfy their own contract (self-check)."""
+    from repro.analysis.config import load_config
+
+    root = Path(__file__).parents[2]
+    cfg = load_config(root)
+    analyzer = Analyzer(root, default_rules(cfg), baseline=None)
+    result = analyzer.run(cfg.qos_paths, exclude=cfg.exclude)
+    f2 = [v for v in result.violations if v.rule == "F2"]
+    assert f2 == [], [v.format() for v in f2]
+
+
 # -- T1: tracer calls in hot-path modules must be None-guarded -------------
 #
 # T1 is path-scoped like F1 (it applies inside the configured

@@ -165,3 +165,89 @@ def test_qd_waits_for_retransmit_pending_packets():
     assert env.now > arrivals[0]
     assert ctx0.reliability.retries > 0
     assert ctx0.reliability.in_flight == 0
+
+
+def test_qd_credits_gave_up_sends_as_processed():
+    """A permanently partitioned reliable send is eventually abandoned
+    by the retransmit layer; the give-up must credit the `processed`
+    axis, or created > processed forever and QD hangs."""
+    from repro.faults import FaultPlan, LinkDownWindow
+
+    env = Environment()
+    plan = FaultPlan(
+        seed=0,
+        down=(LinkDownWindow(None, None, 0.0, 1.0e15),),  # never lifts
+        retry_timeout_us=20.0,
+        retry_max=2,
+    )
+    rt = ConverseRuntime(
+        env, RunConfig(nnodes=2, workers_per_process=1, fault_plan=plan)
+    )
+    received = []
+    hid = rt.register_handler(lambda pe, msg: received.append(msg.payload))
+
+    def kick(pe, msg):
+        yield from pe.send(rt.config.pes_per_node, hid, 64, "doomed")
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=10.0)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([quiesced, env.timeout(100_000_000.0)]))
+    rt.stop()
+    assert quiesced.triggered  # the give-up unblocked the detector
+    assert received == []
+    rels = [
+        c.reliability
+        for p in rt.processes
+        for c in p.client.contexts
+        if c.reliability is not None
+    ]
+    assert sum(r.gave_up for r in rels) == 1
+    assert sum(r.in_flight for r in rels) == 0
+    # created counted the send; processed was made whole by the give-up.
+    assert rt.messages_sent == 1
+
+
+def test_qd_ignores_best_effort_sends_on_created_axis():
+    """Dropped best-effort traffic is invisible to QD: `created` never
+    includes it, so a 100%-loss link cannot wedge the detector."""
+    from repro.faults import FaultPlan, FaultRates, QOS_BEST_EFFORT
+
+    env = Environment()
+    plan = FaultPlan(
+        seed=0, per_link={(0, 1): FaultRates(drop=1.0)}
+    )
+    rt = ConverseRuntime(
+        env, RunConfig(nnodes=2, workers_per_process=1, fault_plan=plan)
+    )
+    received = []
+    hid = rt.register_handler(lambda pe, msg: received.append(msg.payload))
+
+    def kick(pe, msg):
+        for i in range(6):
+            yield from pe.send(
+                rt.config.pes_per_node, hid, 64, i, qos=QOS_BEST_EFFORT
+            )
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=10.0)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([quiesced, env.timeout(100_000_000.0)]))
+    rt.stop()
+    assert quiesced.triggered
+    assert received == []  # every packet was dropped on the wire
+    assert rt.messages_sent == 0  # created axis: only reliable sends
+    assert rt.best_effort_sends == 6
+    rels = [
+        c.reliability
+        for p in rt.processes
+        for c in p.client.contexts
+        if c.reliability is not None
+    ]
+    # No retransmit machinery ever engaged for the lost packets.
+    assert sum(r.retries for r in rels) == 0
+    assert sum(r.gave_up for r in rels) == 0

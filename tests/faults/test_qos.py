@@ -1,0 +1,257 @@
+"""Delivery-QoS semantics: best-effort footprint, FRESH supersede,
+and the quiescence accounting contract.
+
+The QoS contract (docs/ARCHITECTURE.md): a best-effort or FRESH send
+is unstamped — no sequence number, no pending record, no ACK, no
+retransmit timer — and is invisible to quiescence accounting; FRESH
+additionally filters duplicates and stale generations per flow key.
+"""
+
+import pytest
+
+from repro.converse import ConverseRuntime, RunConfig
+from repro.converse.messages import ConverseMessage
+from repro.converse.quiescence import QuiescenceDetector
+from repro.faults import (
+    FaultPlan,
+    FaultRates,
+    QOS_BEST_EFFORT,
+    QOS_BEST_EFFORT_FRESH,
+    QOS_RELIABLE,
+    parse_qos,
+    qos_name,
+)
+from repro.sim import Environment
+
+HORIZON = 400_000_000.0
+
+
+def run_qos(qos, plan=None, n_msgs=8, fresh_key=None, reliable=None):
+    """Send ``n_msgs`` node 0 -> node 1 with the given QoS; quiesce."""
+    env = Environment()
+    cfg = RunConfig(
+        nnodes=2, workers_per_process=1, fault_plan=plan, reliable=reliable
+    )
+    rt = ConverseRuntime(env, cfg)
+    received = []
+    hid = rt.register_handler(lambda pe, msg: received.append(msg.payload))
+
+    def kick(pe, msg):
+        for i in range(n_msgs):
+            yield from pe.send(
+                cfg.pes_per_node, hid, 64, ("m", i), qos=qos, fresh_key=fresh_key
+            )
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=20.0)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([quiesced, env.timeout(HORIZON)]))
+    rt.stop()
+    rels = [
+        c.reliability
+        for p in rt.processes
+        for c in p.client.contexts
+        if c.reliability is not None
+    ]
+    return rt, received, rels, quiesced
+
+
+def totals(rels, counter):
+    return sum(getattr(r, counter) for r in rels)
+
+
+# -- names and parsing -------------------------------------------------------
+
+
+def test_qos_names_round_trip():
+    assert qos_name(QOS_RELIABLE) == "reliable"
+    assert qos_name(QOS_BEST_EFFORT) == "best_effort"
+    assert qos_name(QOS_BEST_EFFORT_FRESH) == "fresh"
+    for spec, want in [
+        ("reliable", QOS_RELIABLE),
+        ("best_effort", QOS_BEST_EFFORT),
+        ("best-effort", QOS_BEST_EFFORT),
+        ("fresh", QOS_BEST_EFFORT_FRESH),
+        ("best_effort_fresh", QOS_BEST_EFFORT_FRESH),
+        (QOS_BEST_EFFORT, QOS_BEST_EFFORT),
+    ]:
+        assert parse_qos(spec) == want
+    with pytest.raises(ValueError):
+        parse_qos("bogus")
+    with pytest.raises(ValueError):
+        parse_qos(7)
+
+
+# -- best-effort footprint ---------------------------------------------------
+
+
+def test_best_effort_sends_leave_no_transport_state():
+    """Unstamped: no seq, no pending record, no ACK, no retransmit."""
+    rt, received, rels, quiesced = run_qos(QOS_BEST_EFFORT, reliable=True)
+    assert quiesced.triggered
+    assert received == [("m", i) for i in range(8)]  # clean network
+    assert totals(rels, "acks_sent") == 0  # nothing was ever stamped
+    assert totals(rels, "retries") == 0
+    assert totals(rels, "in_flight") == 0
+    for r in rels:
+        assert r.pending == {}
+    assert rt.messages_sent == 0  # converse `created` axis untouched
+    assert rt.best_effort_sends == 8
+
+
+def test_reliable_sends_do_stamp_and_ack():
+    rt, received, rels, quiesced = run_qos(QOS_RELIABLE, reliable=True)
+    assert quiesced.triggered
+    assert received == [("m", i) for i in range(8)]
+    assert totals(rels, "acks_sent") == 8  # one ACK per stamped send
+    assert rt.messages_sent > 0
+
+
+def test_best_effort_drop_loses_quietly_and_quiesces():
+    """100% one-way loss: nothing delivered, nothing retried, no hang."""
+    plan = FaultPlan(
+        seed=0, name="oneway", per_link={(0, 1): FaultRates(drop=1.0)}
+    )
+    rt, received, rels, quiesced = run_qos(QOS_BEST_EFFORT, plan=plan)
+    assert quiesced.triggered
+    assert received == []
+    assert totals(rels, "retries") == 0
+    assert totals(rels, "gave_up") == 0
+    assert totals(rels, "in_flight") == 0
+
+
+def test_rendezvous_size_forces_reliable():
+    """Messages above the rendezvous threshold ignore best-effort qos:
+    the three-way RTS/rget protocol cannot tolerate lost legs."""
+    env = Environment()
+    cfg = RunConfig(nnodes=2, workers_per_process=1, reliable=True)
+    rt = ConverseRuntime(env, cfg)
+    big = rt.params.rendezvous_threshold + 512
+    received = []
+    hid = rt.register_handler(lambda pe, msg: received.append(msg.nbytes))
+
+    def kick(pe, msg):
+        yield from pe.send(cfg.pes_per_node, hid, big, "bulk", qos=QOS_BEST_EFFORT)
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=20.0)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([quiesced, env.timeout(HORIZON)]))
+    rt.stop()
+    assert received == [big]
+    assert rt.best_effort_sends == 0
+    assert rt.messages_sent > 0  # it rode the reliable path
+
+
+# -- ACK-drop recovery (the reliable contrast) -------------------------------
+
+
+def test_ack_drop_retransmits_to_exactly_once():
+    """Dropping every ACK (1->0) forces retransmits; dedup keeps the
+    application view exactly-once and the run still quiesces."""
+    plan = FaultPlan(
+        seed=0,
+        name="ackdrop",
+        per_link={(1, 0): FaultRates(drop=1.0)},
+        retry_timeout_us=5.0,
+        retry_max=3,
+    )
+    rt, received, rels, quiesced = run_qos(
+        QOS_RELIABLE, plan=plan, n_msgs=5, reliable=True
+    )
+    assert quiesced.triggered
+    assert sorted(received) == [("m", i) for i in range(5)]
+    assert totals(rels, "retries") > 0
+    assert totals(rels, "dup_suppressed") > 0  # retransmits of ACKed sends
+    assert totals(rels, "in_flight") == 0  # give-ups drained pending
+
+
+# -- FRESH: duplicate and stale filtering ------------------------------------
+
+
+def test_fresh_filters_duplicates_by_generation():
+    """A duplicated FRESH packet replays the same generation and is
+    dropped as stale — exactly-once without any transport state."""
+    plan = FaultPlan(seed=0, name="dup", link=FaultRates(duplicate=1.0))
+    rt, received, rels, quiesced = run_qos(
+        QOS_BEST_EFFORT_FRESH, plan=plan, fresh_key="flowA"
+    )
+    assert quiesced.triggered
+    assert received == [("m", i) for i in range(8)]
+    assert totals(rels, "stale_dropped") > 0
+    assert totals(rels, "dup_suppressed") == 0  # seq-dedup never engaged
+    assert totals(rels, "acks_sent") == 0
+
+
+def test_plain_best_effort_does_not_filter_duplicates():
+    """Contrast: without FRESH generations, duplicates dispatch twice."""
+    plan = FaultPlan(seed=0, name="dup", link=FaultRates(duplicate=1.0))
+    rt, received, rels, quiesced = run_qos(QOS_BEST_EFFORT, plan=plan)
+    assert quiesced.triggered
+    assert len(received) > 8
+    assert totals(rels, "stale_dropped") == 0
+
+
+def test_fresh_flows_are_independent_per_key():
+    """Two interleaved flows to one destination keep separate
+    generation counters: neither supersedes the other."""
+    env = Environment()
+    cfg = RunConfig(nnodes=2, workers_per_process=1, reliable=True)
+    rt = ConverseRuntime(env, cfg)
+    received = []
+    hid = rt.register_handler(lambda pe, msg: received.append(msg.payload))
+
+    def kick(pe, msg):
+        for i in range(4):
+            yield from pe.send(
+                cfg.pes_per_node, hid, 64, ("a", i),
+                qos=QOS_BEST_EFFORT_FRESH, fresh_key="flowA",
+            )
+            yield from pe.send(
+                cfg.pes_per_node, hid, 64, ("b", i),
+                qos=QOS_BEST_EFFORT_FRESH, fresh_key="flowB",
+            )
+
+    kid = rt.register_handler(kick)
+    rt.pes[0].local_q.append(ConverseMessage(kid, 0, None, 0, 0))
+    qd = QuiescenceDetector(rt, poll_interval_us=20.0)
+    quiesced = qd.start()
+    rt.start()
+    env.run(until=env.any_of([quiesced, env.timeout(HORIZON)]))
+    rt.stop()
+    assert quiesced.triggered
+    assert [p for p in received if p[0] == "a"] == [("a", i) for i in range(4)]
+    assert [p for p in received if p[0] == "b"] == [("b", i) for i in range(4)]
+
+
+# -- quiescence accounting ---------------------------------------------------
+
+
+def test_quiescence_ignores_best_effort_traffic():
+    """Dropped best-effort sends never count as created/in-flight, so
+    the detector converges exactly as on an idle system."""
+    plan = FaultPlan(
+        seed=0, name="oneway", per_link={(0, 1): FaultRates(drop=1.0)}
+    )
+    rt, received, rels, quiesced = run_qos(QOS_BEST_EFFORT, plan=plan)
+    assert quiesced.triggered
+    # `created` excludes all 8 best-effort sends.
+    assert rt.messages_sent == 0
+    assert rt.best_effort_sends == 8
+
+
+def test_quiescence_counts_acks_on_no_axis():
+    """ACK traffic is transport-internal: it inflates neither the
+    created nor the processed totals in either QoS mode."""
+    rt, received, rels, quiesced = run_qos(QOS_RELIABLE, reliable=True)
+    assert quiesced.triggered
+    acks = totals(rels, "acks_sent")
+    assert acks == 8
+    # created: 1 kick seed is local-only; 8 reliable sends counted.
+    assert rt.messages_sent == 8
+    # processed: kick + 8 sinks — ACK consumption adds nothing.
+    assert sum(pe.messages_executed for pe in rt.pes) == 9
