@@ -2,9 +2,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate
+.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate iso-gate
 
-tier1: test bench-gate trace-gate lint  ## full tier-1 flow: tests + gates + lint
+tier1: test bench-gate trace-gate iso-gate lint  ## full tier-1 flow: tests + gates + lint
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,13 @@ shard-gate:      ## sharded-vs-serial equivalence gate: every gated benchmark mu
                  ## (shards 1/2/4 + the subprocess transport) and the serial engine
                  ## (docs/SCALING.md)
 	$(PYTHON) -c "from repro.harness.benchgate import main; raise SystemExit(main(['--shard-gate']))"
+
+iso-gate:        ## concurrent-Environment isolation gate: N independent
+                 ## Environments stepped in adversarial interleaving must
+                 ## checksum bit-identically to solo runs (docs/ANALYSIS.md,
+                 ## G/S rule families); checked-engine mode catches protocol
+                 ## violations the interleaving might expose
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.isogate
 
 chaos:           ## chaos suite: pingpong/m2m/jacobi/lattice under seeded fault
                  ## profiles x delivery-QoS modes with the checked DES engine;

@@ -2,34 +2,51 @@
 
 The baseline lets the lint gate turn on strict without first rewriting
 history: known violations are recorded once and suppressed until the
-offending line changes.  Entries are matched by
-``(rule, path, stripped source line)`` — *not* line number — so
-unrelated edits above a grandfathered line do not resurrect it, while
-any edit *to* the line itself forces a fresh decision (fix or pragma).
+offending code changes.  Two entry shapes coexist (format version 2):
+
+* **per-file** entries match by ``(rule, path, stripped source line)``
+  — *not* line number — so unrelated edits above a grandfathered line
+  do not resurrect it, while any edit *to* the line itself forces a
+  fresh decision (fix or pragma);
+* **symbol** entries (project-scope findings from the G/S families)
+  match by ``(rule, dotted symbol path)`` — stable under any line
+  churn; only renaming or fixing the symbol invalidates them.  They
+  still record the defining ``path`` so ``--write-baseline`` can prune
+  entries whose file no longer exists.
 
 Stale entries (no longer matching any violation) are reported so the
 baseline only ever shrinks.  ``python -m repro.analysis
---write-baseline`` regenerates the file from current findings.
+--write-baseline`` merges current findings with still-live entries and
+prunes the rest.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .core import Violation
 
 __all__ = ["Baseline"]
 
-_VERSION = 1
+_VERSION = 2
+
+
+def _entry_fingerprint(entry: Dict[str, str]) -> Tuple[str, str, str]:
+    if entry.get("symbol"):
+        return (entry["rule"], "symbol", entry["symbol"])
+    return (entry["rule"], entry.get("path", ""), entry.get("text", ""))
 
 
 class Baseline:
-    """Set of grandfathered violation fingerprints, JSON-backed."""
+    """Set of grandfathered violation entries, JSON-backed."""
 
-    def __init__(self, fingerprints: Iterable[Tuple[str, str, str]] = ()) -> None:
-        self._entries: Set[Tuple[str, str, str]] = set(fingerprints)
+    def __init__(self, entries: Iterable[Dict[str, str]] = ()) -> None:
+        #: De-duplicated entries, keyed by fingerprint.
+        self._entries: Dict[Tuple[str, str, str], Dict[str, str]] = {
+            _entry_fingerprint(e): dict(e) for e in entries
+        }
 
     # -- membership ---------------------------------------------------------
     def contains(self, violation: Violation) -> bool:
@@ -38,8 +55,26 @@ class Baseline:
     def fingerprints(self) -> List[Tuple[str, str, str]]:
         return sorted(self._entries)
 
+    def entries(self) -> List[Dict[str, str]]:
+        return [self._entries[fp] for fp in self.fingerprints()]
+
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- editing ------------------------------------------------------------
+    def merge(self, other: "Baseline") -> None:
+        """Adopt ``other``'s entries (other wins on fingerprint ties)."""
+        self._entries.update(other._entries)
+
+    def prune_missing_files(self, root: Path) -> List[Dict[str, str]]:
+        """Drop entries whose recorded file no longer exists; return them."""
+        root = Path(root)
+        dropped = []
+        for fp, entry in list(self._entries.items()):
+            path = entry.get("path", "")
+            if path and not (root / path).is_file():
+                dropped.append(self._entries.pop(fp))
+        return dropped
 
     # -- persistence --------------------------------------------------------
     @classmethod
@@ -48,23 +83,28 @@ class Baseline:
             return cls()
         with open(path) as f:
             data = json.load(f)
-        if data.get("version") != _VERSION:
+        version = data.get("version")
+        if version not in (1, _VERSION):  # v1: per-file entries only
             raise ValueError(
-                f"unsupported baseline version {data.get('version')!r} in {path}"
+                f"unsupported baseline version {version!r} in {path}"
             )
-        return cls(
-            (e["rule"], e["path"], e["text"]) for e in data.get("entries", [])
-        )
+        return cls(data.get("entries", []))
 
     @classmethod
     def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
-        return cls(v.fingerprint for v in violations)
+        entries = []
+        for v in violations:
+            if v.symbol:
+                entries.append(
+                    {"rule": v.rule, "symbol": v.symbol, "path": v.path}
+                )
+            else:
+                entries.append(
+                    {"rule": v.rule, "path": v.path, "text": v.line_text}
+                )
+        return cls(entries)
 
     def save(self, path: Path) -> None:
-        entries = [
-            {"rule": rule, "path": p, "text": text}
-            for rule, p, text in self.fingerprints()
-        ]
         with open(path, "w") as f:
-            json.dump({"version": _VERSION, "entries": entries}, f, indent=2)
+            json.dump({"version": _VERSION, "entries": self.entries()}, f, indent=2)
             f.write("\n")

@@ -1,0 +1,138 @@
+"""Content-hash lint cache: reuse per-file results across runs.
+
+``make lint`` re-analyzes every file on every invocation; as the rule
+count grows (D/P/F/T + the whole-program G/S families) that cost scales
+with rules x files.  But a file's per-file findings are a pure function
+of (file content, rule set) — pragma suppression included, since
+pragmas live in the file — so they can be cached by content hash and
+reused until either input changes.
+
+The cache key has two parts:
+
+* **ruleset key**: sha256 over the sorted enabled rule ids *and* the
+  source bytes of every module in ``repro.analysis`` itself, so editing
+  any rule (or the engine) invalidates everything without manual
+  version bumps;
+* **file sha**: sha256 of the file's bytes.
+
+The whole-program pass caches the same way under a combined hash of
+every project file, keyed by sorted (rel path, sha) pairs — any file
+added, removed, or edited under ``project-paths`` re-runs pass 1+2.
+
+Stored at ``<root>/.repro-lint-cache.json`` (gitignored).  A corrupt or
+version-mismatched cache file is treated as empty, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Violation
+
+__all__ = ["LintCache", "ruleset_key"]
+
+_VERSION = 1
+
+#: (Violation, suppressed-by-pragma?) pairs — the cacheable unit.
+Pairs = List[Tuple[Violation, bool]]
+
+
+def ruleset_key(rule_ids: Sequence[str]) -> str:
+    """Hash of the enabled rule ids + the analysis package's own source."""
+    h = hashlib.sha256()
+    for rid in sorted(rule_ids):
+        h.update(rid.encode())
+        h.update(b"\0")
+    pkg = Path(__file__).parent
+    for src in sorted(pkg.glob("*.py")):
+        h.update(src.name.encode())
+        h.update(src.read_bytes())
+    return h.hexdigest()
+
+
+def _file_sha(path: Path) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+class LintCache:
+    """JSON-backed (file sha, rule set) -> findings cache."""
+
+    def __init__(self, path: Path, rule_ids: Sequence[str]) -> None:
+        self.path = Path(path)
+        self.key = ruleset_key(rule_ids)
+        self._files: Dict[str, dict] = {}
+        self._project: Optional[dict] = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if data.get("version") != _VERSION or data.get("ruleset") != self.key:
+            return  # rule set changed: start cold
+        self._files = data.get("files", {})
+        self._project = data.get("project")
+
+    # -- per-file entries ---------------------------------------------------
+    def get_file(self, rel: str, path: Path) -> Optional[Pairs]:
+        entry = self._files.get(rel)
+        if entry is None or entry.get("sha") != _file_sha(path):
+            return None
+        return _decode(entry["pairs"])
+
+    def put_file(self, rel: str, path: Path, pairs: Pairs) -> None:
+        self._files[rel] = {"sha": _file_sha(path), "pairs": _encode(pairs)}
+        self._dirty = True
+
+    # -- whole-program entry ------------------------------------------------
+    def _project_sha(self, files: Sequence[Path]) -> str:
+        h = hashlib.sha256()
+        for f in sorted(files):
+            h.update(str(f).encode())
+            h.update(_file_sha(f).encode())
+        return h.hexdigest()
+
+    def get_project(self, files: Sequence[Path]) -> Optional[Pairs]:
+        if self._project is None:
+            return None
+        if self._project.get("sha") != self._project_sha(files):
+            return None
+        return _decode(self._project["pairs"])
+
+    def put_project(self, files: Sequence[Path], pairs: Pairs) -> None:
+        self._project = {
+            "sha": self._project_sha(files),
+            "pairs": _encode(pairs),
+        }
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _VERSION,
+            "ruleset": self.key,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.write_text(json.dumps(payload) + "\n")
+        except OSError:  # read-only checkout: caching is best-effort
+            pass
+        self._dirty = False
+
+
+def _encode(pairs: Pairs) -> list:
+    return [[v.__dict__, bool(p)] for v, p in pairs]
+
+
+def _decode(raw: list) -> Pairs:
+    return [(Violation(**d), bool(p)) for d, p in raw]

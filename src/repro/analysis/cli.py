@@ -1,10 +1,12 @@
 """repro-lint command line: ``python -m repro.analysis`` / ``make lint``.
 
 Exit status: 0 when every finding is suppressed (pragma or baseline),
-1 when unsuppressed violations remain, 2 on usage errors.  ``--self-
-check`` injects one violation per rule family into a scratch directory
-and verifies the analyzer catches both — CI runs it so a silently
-broken rule set cannot keep returning green.
+1 when unsuppressed violations remain, 2 on usage errors — including
+an unknown rule id in ``--rules`` *or* in the ``[tool.repro-lint]
+rules`` table (a typo there must not silently disable a rule).
+``--self-check`` injects one violation per rule family into a scratch
+directory and verifies the analyzer catches each — CI runs it so a
+silently broken rule set cannot keep returning green.
 """
 
 from __future__ import annotations
@@ -14,17 +16,20 @@ import json
 import sys
 import tempfile
 from pathlib import Path
+from types import MappingProxyType
 from typing import List, Optional
 
 from .baseline import Baseline
+from .cache import LintCache
 from .config import Config, find_root, load_config
 from .core import Analyzer, all_rule_classes, default_rules
 
 __all__ = ["main", "run_self_check"]
 
 #: One deliberately-bad snippet per rule family; --self-check verifies
-#: each is caught (determinism family via D2, protocol family via P2).
-_SELF_CHECK_SNIPPETS = {
+#: each is caught (determinism via D2, protocol via P2, global-state
+#: via G1, SPMD via S2).
+_SELF_CHECK_SNIPPETS = MappingProxyType({
     "D2": (
         "injected_determinism.py",
         "import random\n\n\ndef jitter():\n    return random.random()\n",
@@ -34,17 +39,38 @@ _SELF_CHECK_SNIPPETS = {
         "from repro.sim.engine import Event\n\n\n"
         "class Signal(Event):\n    pass\n",
     ),
-}
+    "G1": (
+        "injected_global.py",
+        "HANDLER_REGISTRY = {}\n",
+    ),
+    "S2": (
+        "injected_spmd.py",
+        "def build_mirror(rt, msg):\n"
+        "    rt.pes[0].local_q.append(msg)\n",
+    ),
+})
 
 
 def run_self_check(config: Config) -> int:
-    """Inject one violation per family; return 0 iff both are caught."""
+    """Inject one violation per family; return 0 iff every one is caught."""
     failures: List[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-lint-selfcheck-") as tmp:
         tmpdir = Path(tmp)
         for rule_id, (fname, source) in _SELF_CHECK_SNIPPETS.items():
             (tmpdir / fname).write_text(source)
-        analyzer = Analyzer(tmpdir, default_rules(config), baseline=None)
+        # Scratch config: the project pass must cover the scratch dir
+        # (there is no src/repro inside it) and the injected SPMD file
+        # must be in S-family scope.
+        scratch = Config(
+            root=tmpdir,
+            rules=config.rules,
+            project_paths=(".",),
+            spmd_paths=("injected_spmd.py",),
+            global_allow=(),
+        )
+        analyzer = Analyzer(
+            tmpdir, default_rules(scratch), baseline=None, config=scratch
+        )
         result = analyzer.run([str(tmpdir)])
         fired = {v.rule for v in result.violations}
         for rule_id, (fname, _) in _SELF_CHECK_SNIPPETS.items():
@@ -59,7 +85,10 @@ def run_self_check(config: Config) -> int:
             file=sys.stderr,
         )
         return 1
-    print("self-check: PASS (one injected violation per family, both caught)")
+    print(
+        f"self-check: PASS (one injected violation per family, "
+        f"all {len(_SELF_CHECK_SNIPPETS)} caught)"
+    )
     return 0
 
 
@@ -91,12 +120,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="output format",
     )
     parser.add_argument(
+        "--json-out", type=Path, default=None,
+        help="also write the JSON report to this file (CI artifact)",
+    )
+    parser.add_argument(
         "--no-baseline", action="store_true",
         help="ignore the baseline file (report grandfathered violations too)",
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="write current unsuppressed violations to the baseline and exit 0",
+        help="merge current unsuppressed violations into the baseline, "
+        "prune entries for files that no longer exist, and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash result cache (.repro-lint-cache.json)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -118,9 +156,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = load_config(args.root if args.root else find_root())
     if args.rules:
         config.rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    if config.rules is not None:
         unknown = set(config.rules) - set(all_rule_classes())
         if unknown:
-            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+            source = "--rules" if args.rules else "[tool.repro-lint] rules"
+            parser.error(
+                f"unknown rule id(s) in {source}: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(all_rule_classes())})"
+            )
 
     if args.self_check:
         return run_self_check(config)
@@ -129,32 +172,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_baseline and not args.write_baseline:
         baseline = Baseline.load(config.baseline_path)
 
-    analyzer = Analyzer(config.root, default_rules(config), baseline=baseline)
+    rules = default_rules(config)
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(
+            config.root / ".repro-lint-cache.json", [r.id for r in rules]
+        )
+    analyzer = Analyzer(
+        config.root, rules, baseline=baseline, config=config, cache=cache
+    )
     paths = args.paths or config.paths
     result = analyzer.run(paths, exclude=config.exclude)
 
     if args.write_baseline:
-        Baseline.from_violations(result.violations).save(config.baseline_path)
-        print(
-            f"repro-lint: wrote {len(result.violations)} grandfathered "
-            f"entr{'y' if len(result.violations) == 1 else 'ies'} to "
-            f"{config.baseline_path}"
+        old = Baseline.load(config.baseline_path)
+        # Keep entries for files this run did not look at; entries for
+        # analyzed files are superseded by the fresh findings.
+        kept = Baseline(
+            e
+            for e in old.entries()
+            if e.get("path", "") not in result.analyzed_paths
         )
+        pruned = kept.prune_missing_files(config.root)
+        kept.merge(Baseline.from_violations(result.violations))
+        kept.save(config.baseline_path)
+        msg = (
+            f"repro-lint: wrote {len(kept)} grandfathered "
+            f"entr{'y' if len(kept) == 1 else 'ies'} to {config.baseline_path}"
+        )
+        if pruned:
+            gone = ", ".join(sorted({e.get("path", "?") for e in pruned}))
+            msg += f" (pruned {len(pruned)} for missing file(s): {gone})"
+        print(msg)
         return 0
 
+    payload = {
+        "files_analyzed": result.files_analyzed,
+        "cache_hits": result.cache_hits,
+        "violations": [v.__dict__ for v in result.violations],
+        "pragma_suppressed": len(result.pragma_suppressed),
+        "baseline_suppressed": len(result.baseline_suppressed),
+        "stale_baseline": [list(fp) for fp in result.stale_baseline],
+    }
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(payload, indent=2) + "\n")
+
     if args.fmt == "json":
-        print(
-            json.dumps(
-                {
-                    "files_analyzed": result.files_analyzed,
-                    "violations": [v.__dict__ for v in result.violations],
-                    "pragma_suppressed": len(result.pragma_suppressed),
-                    "baseline_suppressed": len(result.baseline_suppressed),
-                    "stale_baseline": [list(fp) for fp in result.stale_baseline],
-                },
-                indent=2,
-            )
-        )
+        print(json.dumps(payload, indent=2))
     else:
         for v in result.violations:
             print(v.format())

@@ -44,6 +44,16 @@ _DEFAULT_TRACE_HOT_PATHS = (
     "src/repro/queues.py",
     "src/repro/faults",
 )
+_DEFAULT_PROJECT_PATHS = ("src/repro",)
+#: Dotted symbols exempt from G1 (deliberate globals).  Mirrors the
+#: shipped pyproject table, where each entry carries its justification.
+_DEFAULT_GLOBAL_ALLOW = ("repro.analysis.core._REGISTRY",)
+#: SPMD shard infrastructure: always in S-family scope, in addition to
+#: any module the import graph shows reaching it.
+_DEFAULT_SPMD_PATHS = (
+    "src/repro/sim/shard.py",
+    "src/repro/bgq/shardnet.py",
+)
 
 
 @dataclass
@@ -64,6 +74,17 @@ class Config:
     #: Transport/runtime trees where F2 (best-effort QoS branches must
     #: not touch seq/pending reliable-transport state) applies.
     qos_paths: Tuple[str, ...] = _DEFAULT_QOS_PATHS
+    #: Trees the whole-program pass (ProjectContext, G/S families)
+    #: covers.  Entries may be directories or single files.
+    project_paths: Tuple[str, ...] = _DEFAULT_PROJECT_PATHS
+    #: Dotted symbols exempt from G1: globals that are deliberate.
+    #: Every entry in pyproject.toml should carry a justification
+    #: comment next to it.
+    global_allow: Tuple[str, ...] = _DEFAULT_GLOBAL_ALLOW
+    #: Files/dirs always treated as SPMD shard code by the S family,
+    #: in addition to modules the import graph shows importing
+    #: repro.sim.shard or repro.bgq.shardnet.
+    spmd_paths: Tuple[str, ...] = _DEFAULT_SPMD_PATHS
 
     @property
     def baseline_path(self) -> Path:
@@ -105,4 +126,10 @@ def load_config(root: Optional[Path] = None) -> Config:
         cfg.trace_hot_paths = tuple(table["trace-hot-paths"])
     if "qos-paths" in table:
         cfg.qos_paths = tuple(table["qos-paths"])
+    if "project-paths" in table:
+        cfg.project_paths = tuple(table["project-paths"])
+    if "global-allow" in table:
+        cfg.global_allow = tuple(table["global-allow"])
+    if "spmd-paths" in table:
+        cfg.spmd_paths = tuple(table["spmd-paths"])
     return cfg

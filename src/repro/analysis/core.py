@@ -69,9 +69,16 @@ class Violation:
     col: int
     message: str
     line_text: str  # stripped source line (baseline fingerprint)
+    #: Dotted symbol path for project-scope findings
+    #: (``repro.bgq.params.DEFAULT_PARAMS``); empty for per-file
+    #: findings.  When set it becomes the baseline fingerprint, which
+    #: survives line churn anywhere in the file.
+    symbol: str = ""
 
     @property
     def fingerprint(self) -> Tuple[str, str, str]:
+        if self.symbol:
+            return (self.rule, "symbol", self.symbol)
         return (self.rule, self.path, self.line_text)
 
     def format(self) -> str:
@@ -98,7 +105,9 @@ def all_rule_classes() -> Dict[str, Type["Rule"]]:
     from . import (  # noqa: F401 (registration)
         rules_determinism,
         rules_faults,
+        rules_global,
         rules_protocol,
+        rules_spmd,
         rules_trace,
     )
 
@@ -249,6 +258,12 @@ class AnalysisResult:
     baseline_suppressed: List[Violation] = field(default_factory=list)
     stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
     files_analyzed: int = 0
+    #: Root-relative posix paths of every file this run looked at
+    #: (per-file pass plus the project pass) — ``--write-baseline``
+    #: uses it to decide which old entries a run supersedes.
+    analyzed_paths: Set[str] = field(default_factory=set)
+    #: Per-file results served from the content-hash cache.
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -256,15 +271,38 @@ class AnalysisResult:
 
 
 class Analyzer:
-    """Run a rule set over files under a root directory."""
+    """Run a rule set over files under a root directory.
 
-    def __init__(self, root: Path, rules: Sequence[Rule], baseline=None) -> None:
+    ``config`` enables the whole-program pass (project rules run over
+    ``config.project_paths``); without it only per-file rules run, so
+    pre-existing call sites and fixture harnesses are unaffected.
+    ``cache`` is an optional :class:`repro.analysis.cache.LintCache`;
+    per-file results are reused when a file's content hash and the rule
+    set are both unchanged.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        rules: Sequence[Rule],
+        baseline=None,
+        config=None,
+        cache=None,
+    ) -> None:
         self.root = Path(root)
         self.rules = list(rules)
         self.baseline = baseline  # repro.analysis.baseline.Baseline or None
-        #: node-type name -> rules subscribed to it.
+        self.config = config
+        self.cache = cache
+        self.file_rules = [
+            r for r in self.rules if not getattr(r, "project", False)
+        ]
+        self.project_rules = [
+            r for r in self.rules if getattr(r, "project", False)
+        ]
+        #: node-type name -> per-file rules subscribed to it.
         self._dispatch: Dict[str, List[Rule]] = {}
-        for rule in self.rules:
+        for rule in self.file_rules:
             for nt in rule.node_types:
                 self._dispatch.setdefault(nt, []).append(rule)
 
@@ -327,19 +365,79 @@ class Analyzer:
     def run(self, paths: Iterable[str], exclude: Sequence[str] = ()) -> AnalysisResult:
         result = AnalysisResult()
         matched_baseline: Set[Tuple[str, str, str]] = set()
-        for path in self.iter_files(paths, exclude):
-            ctx = self.analyze_file(path)
-            result.files_analyzed += 1
-            for v in ctx.violations:
-                if ctx.suppressed_by_pragma(v):
+
+        def triage(pairs) -> None:
+            """Route (violation, pragma-suppressed?) pairs into the result."""
+            for v, by_pragma in pairs:
+                if by_pragma:
                     result.pragma_suppressed.append(v)
                 elif self.baseline is not None and self.baseline.contains(v):
                     result.baseline_suppressed.append(v)
                     matched_baseline.add(v.fingerprint)
                 else:
                     result.violations.append(v)
+
+        # Per-file pass (cacheable: pragma suppression depends only on
+        # file content, so the post-pragma pairs are safe to reuse).
+        for path in self.iter_files(paths, exclude):
+            rel = self._rel(path)
+            result.files_analyzed += 1
+            result.analyzed_paths.add(rel)
+            cached = (
+                self.cache.get_file(rel, path) if self.cache is not None else None
+            )
+            if cached is not None:
+                result.cache_hits += 1
+                triage(cached)
+                continue
+            ctx = self.analyze_file(path)
+            pairs = [(v, ctx.suppressed_by_pragma(v)) for v in ctx.violations]
+            if self.cache is not None:
+                self.cache.put_file(rel, path, pairs)
+            triage(pairs)
+
+        # Whole-program pass (project rules over config.project_paths).
+        if self.project_rules and self.config is not None:
+            pfiles = self.iter_files(self.config.project_paths, exclude)
+            if pfiles:
+                rels = [self._rel(p) for p in pfiles]
+                result.analyzed_paths.update(rels)
+                cached = (
+                    self.cache.get_project(pfiles)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    result.cache_hits += 1
+                    triage(cached)
+                else:
+                    from .project import build_project_context
+
+                    pctx = build_project_context(self.root, pfiles)
+                    for rule in self.project_rules:
+                        rule.check_project(pctx)
+                    pairs = [
+                        (
+                            v,
+                            pctx.by_path[v.path].file_ctx.suppressed_by_pragma(v),
+                        )
+                        for v in pctx.violations
+                    ]
+                    if self.cache is not None:
+                        self.cache.put_project(pfiles, pairs)
+                    triage(pairs)
+
         if self.baseline is not None:
             result.stale_baseline = [
                 fp for fp in self.baseline.fingerprints() if fp not in matched_baseline
             ]
+        if self.cache is not None:
+            self.cache.flush()
         return result
+
+    def _rel(self, path: Path) -> str:
+        return (
+            path.relative_to(self.root).as_posix()
+            if path.is_relative_to(self.root)
+            else path.as_posix()
+        )

@@ -19,7 +19,7 @@ __all__ = ["WallClockRule", "UnseededRandomRule", "UnorderedIterationRule", "IdO
 
 #: Wall-clock reads: any of these inside simulation/runtime code makes
 #: results depend on the host, not the simulated machine.
-_WALL_CLOCK = {
+_WALL_CLOCK = frozenset({
     "time.time",
     "time.time_ns",
     "time.perf_counter",
@@ -36,10 +36,10 @@ _WALL_CLOCK = {
     "datetime.datetime.today",
     "date.today",
     "datetime.date.today",
-}
+})
 
 #: ``random.<fn>`` calls that draw from the module-global (unseeded) RNG.
-_GLOBAL_RANDOM_FNS = {
+_GLOBAL_RANDOM_FNS = frozenset({
     "random",
     "randint",
     "randrange",
@@ -62,10 +62,10 @@ _GLOBAL_RANDOM_FNS = {
     "paretovariate",
     "weibullvariate",
     "seed",
-}
+})
 
 #: Legacy numpy global-state RNG entry points (``np.random.<fn>``).
-_NUMPY_GLOBAL_FNS = {
+_NUMPY_GLOBAL_FNS = frozenset({
     "rand",
     "randn",
     "randint",
@@ -78,11 +78,11 @@ _NUMPY_GLOBAL_FNS = {
     "normal",
     "standard_normal",
     "seed",
-}
+})
 
 #: Method/function names whose invocation inside a loop body means the
 #: loop feeds event scheduling or message ordering.
-_SCHEDULING_NAMES = {
+_SCHEDULING_NAMES = frozenset({
     "process",
     "succeed",
     "fail",
@@ -99,10 +99,10 @@ _SCHEDULING_NAMES = {
     "interrupt",
     "any_of",
     "all_of",
-}
+})
 
 #: Condition factories whose argument order becomes callback order.
-_CONDITION_NAMES = {"any_of", "all_of", "AnyOf", "AllOf"}
+_CONDITION_NAMES = frozenset({"any_of", "all_of", "AnyOf", "AllOf"})
 
 
 def _is_unordered_expr(node: ast.AST) -> bool:

@@ -25,10 +25,10 @@ __all__ = [
 ]
 
 #: Event-class names whose subclasses must declare __slots__.
-_EVENT_BASES = {"Event", "Timeout", "Process", "AllOf", "AnyOf", "_Condition"}
+_EVENT_BASES = frozenset({"Event", "Timeout", "Process", "AllOf", "AnyOf", "_Condition"})
 
 #: Environment attributes only sim/engine.py may touch.
-_ENGINE_INTERNALS = {"_queue", "_imm", "_now", "_seq", "_active_process", "_stepping"}
+_ENGINE_INTERNALS = frozenset({"_queue", "_imm", "_now", "_seq", "_active_process", "_stepping"})
 
 #: The one module allowed to touch them.
 _ENGINE_PATH_SUFFIX = "sim/engine.py"

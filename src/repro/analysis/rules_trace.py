@@ -23,7 +23,7 @@ __all__ = ["UnguardedTracerCallRule"]
 #: Registration/lifecycle methods (register_track, add_finalizer,
 #: finish) run once per run from already-guarded setup code and are
 #: deliberately not listed.
-_RECORDING_METHODS = {
+_RECORDING_METHODS = frozenset({
     "begin",
     "end",
     "count",
@@ -33,12 +33,12 @@ _RECORDING_METHODS = {
     "msg_send",
     "msg_recv",
     "msg_exec",
-}
+})
 
 #: Local names conventionally bound to a (possibly-None) tracer.  Like
 #: P3, this rule is name-based: ``rec = self.tracer`` / ``tr = ...`` /
 #: ``tracer = ...`` are the repo-wide spellings.
-_TRACER_NAMES = {"tracer", "rec", "tr"}
+_TRACER_NAMES = frozenset({"tracer", "rec", "tr"})
 
 
 def _names_tracer(node: ast.AST) -> Optional[str]:

@@ -11,7 +11,7 @@ microseconds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["BGQParams", "DEFAULT_PARAMS", "us", "cycles_to_us"]
 
@@ -30,9 +30,15 @@ def cycles_to_us(t_cycles: float) -> float:
     return t_cycles / CYCLES_PER_US
 
 
-@dataclass
+@dataclass(frozen=True)
 class BGQParams:
-    """Tunable model constants for one simulated BG/Q machine."""
+    """Tunable model constants for one simulated BG/Q machine.
+
+    Frozen: the module-level ``DEFAULT_PARAMS`` instance is shared by
+    every Environment in the process, so a writable field here would be
+    cross-instance state (lint rule G1).  Use ``BGQParams(field=...)``
+    or ``dataclasses.replace`` to vary parameters per run.
+    """
 
     # ---- chip -------------------------------------------------------
     cores_per_node: int = 16  # [paper] 16 app cores (17th OS, 18th spare)

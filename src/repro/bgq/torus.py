@@ -14,12 +14,13 @@ dimension-ordered routing and hop metrics.  Link-level timing lives in
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from types import MappingProxyType
 
 __all__ = ["Torus", "bgq_partition_shape", "PARTITION_SHAPES"]
 
 #: Historical BG/Q partition shapes (A, B, C, D, E) by node count
 #: (Mira/Sequoia block shapes; E is always 2 from 32 nodes up).
-PARTITION_SHAPES: Dict[int, Tuple[int, ...]] = {
+PARTITION_SHAPES: Dict[int, Tuple[int, ...]] = MappingProxyType({
     1: (1, 1, 1, 1, 1),
     2: (1, 1, 1, 1, 2),
     4: (1, 1, 1, 2, 2),
@@ -37,7 +38,7 @@ PARTITION_SHAPES: Dict[int, Tuple[int, ...]] = {
     16384: (8, 8, 16, 8, 2),
     32768: (8, 16, 16, 8, 2),
     49152: (8, 12, 16, 16, 2),  # Sequoia, 96 racks
-}
+})
 
 
 def bgq_partition_shape(nnodes: int) -> Tuple[int, ...]:

@@ -10,6 +10,7 @@ every timestep.
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, TYPE_CHECKING
+from types import MappingProxyType
 
 if TYPE_CHECKING:  # pragma: no cover
     from .chare import ChareArray
@@ -34,12 +35,12 @@ def _concat(a, b):
     return list(a) + list(b)
 
 
-REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
+REDUCERS: Dict[str, Callable[[Any, Any], Any]] = MappingProxyType({
     "sum": _sum,
     "max": _max,
     "min": _min,
     "concat": _concat,
-}
+})
 
 #: Size of a partial-reduction tree message on the wire.
 _PARTIAL_BYTES = 64

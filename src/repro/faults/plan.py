@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..bgq.params import CYCLES_PER_US
+from types import MappingProxyType
 
 __all__ = ["FaultRates", "LinkDownWindow", "FaultPlan", "RetryPolicy", "PROFILES"]
 
@@ -179,7 +180,7 @@ class FaultPlan:
 
 #: Named fault profiles: the chaos suite's seed matrix runs over these
 #: (EXPERIMENTS.md "Chaos suite").  Rates are per packet per link hop.
-PROFILES: Dict[str, Dict] = {
+PROFILES: Dict[str, Dict] = MappingProxyType({
     "none": {},
     "drop1": {"link": FaultRates(drop=0.01)},
     "drop5": {"link": FaultRates(drop=0.05)},
@@ -206,4 +207,4 @@ PROFILES: Dict[str, Dict] = {
     "partition": {
         "down": (LinkDownWindow(None, None, 0.0, 1.0e15),),
     },
-}
+})

@@ -25,6 +25,7 @@ identical to builds without this module.
 """
 
 from __future__ import annotations
+from types import MappingProxyType
 
 __all__ = [
     "QOS_RELIABLE",
@@ -40,19 +41,19 @@ QOS_BEST_EFFORT = 1
 QOS_BEST_EFFORT_FRESH = 2
 
 #: Human-readable names (chaosbench matrix axis, reports, CLIs).
-QOS_NAMES = {
+QOS_NAMES = MappingProxyType({
     QOS_RELIABLE: "reliable",
     QOS_BEST_EFFORT: "best_effort",
     QOS_BEST_EFFORT_FRESH: "fresh",
-}
+})
 
-_BY_NAME = {
+_BY_NAME = MappingProxyType({
     "reliable": QOS_RELIABLE,
     "best_effort": QOS_BEST_EFFORT,
     "best-effort": QOS_BEST_EFFORT,
     "fresh": QOS_BEST_EFFORT_FRESH,
     "best_effort_fresh": QOS_BEST_EFFORT_FRESH,
-}
+})
 
 
 def qos_name(qos: int) -> str:

@@ -30,12 +30,13 @@ import numpy as np
 from ..charm import Chare, Charm
 from .kernels import batch_fft, fft_instructions
 from .pencil import PencilGrid, choose_grid
+from types import MappingProxyType
 
 __all__ = ["FFT3D", "FFTResult", "Slot"]
 
 # Phase tags (offset added per driver so several drivers can coexist).
 _PHASES = ("zy", "yx", "xy", "yz")
-_TAG_BASE = {"zy": 1, "yx": 2, "xy": 3, "yz": 4}
+_TAG_BASE = MappingProxyType({"zy": 1, "yx": 2, "xy": 3, "yz": 4})
 
 
 class Slot:

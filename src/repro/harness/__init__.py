@@ -10,6 +10,7 @@ from .benchgate import (
     run_gate,
 )
 from .fftbench import des_fft_step_us, des_vs_model, table1_model, table1_report
+from .isogate import IsoInstance, isolation_gate, run_interleaved, run_solo
 from .namdbench import (
     PAPER_TABLE2,
     apoa1_pme_every_step,
@@ -44,6 +45,7 @@ __all__ = [
     "FIG4_MODES",
     "FIG4_SIZES",
     "GATE_BENCHMARKS",
+    "IsoInstance",
     "PAPER_TABLE2",
     "TraceResult",
     "bench_fig3_m2m",
@@ -71,6 +73,9 @@ __all__ = [
     "format_table",
     "pingpong_oneway_us",
     "pingpong_run",
+    "isolation_gate",
+    "run_interleaved",
+    "run_solo",
     "qpx_serial_speedup",
     "run_alloc_bench",
     "run_traced_namd",

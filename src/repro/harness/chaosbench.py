@@ -50,6 +50,7 @@ from ..converse.quiescence import QuiescenceDetector
 from ..faults import FaultPlan, QOS_BEST_EFFORT, QOS_RELIABLE, parse_qos, qos_name
 from ..sim import Environment
 from ..workloads import LatticeHalo, build_jacobi
+from types import MappingProxyType
 
 __all__ = [
     "run_pingpong_chaos",
@@ -439,12 +440,12 @@ def run_lattice_chaos(
     return result
 
 
-_WORKLOADS = {
+_WORKLOADS = MappingProxyType({
     "pingpong": run_pingpong_chaos,
     "m2m": run_m2m_chaos,
     "jacobi": run_jacobi_chaos,
     "lattice": run_lattice_chaos,
-}
+})
 
 
 def run_matrix(

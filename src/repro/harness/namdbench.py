@@ -22,6 +22,7 @@ from ..perfmodel import (
 )
 from ..sim import Environment
 from .report import format_table
+from types import MappingProxyType
 
 __all__ = [
     "fig7_configurations",
@@ -35,12 +36,12 @@ __all__ = [
 ]
 
 #: Table II from the paper: nodes -> (cores, ppn, threads, ms/step, speedup).
-PAPER_TABLE2 = {
+PAPER_TABLE2 = MappingProxyType({
     2048: (32768, 1, 48, 98.8, 32768),
     4096: (65536, 1, 48, 55.4, 58438),
     8192: (131072, 1, 48, 30.3, 106847),
     16384: (262144, 1, 32, 17.9, 180864),
-}
+})
 
 FIG11_NODES = (64, 128, 256, 512, 1024, 2048, 4096)
 

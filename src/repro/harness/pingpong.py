@@ -23,6 +23,7 @@ from ..bgq.params import CYCLES_PER_US
 from ..converse import ConverseRuntime, RunConfig
 from ..converse.messages import ConverseMessage
 from ..sim import Environment
+from types import MappingProxyType
 
 __all__ = [
     "pingpong_run",
@@ -34,13 +35,13 @@ __all__ = [
 ]
 
 #: The three modes of Fig. 4 (2 nodes each).
-FIG4_MODES: Dict[str, RunConfig] = {
+FIG4_MODES: Dict[str, RunConfig] = MappingProxyType({
     "non-SMP": RunConfig(nnodes=2, processes_per_node=1, workers_per_process=1),
     "SMP": RunConfig(nnodes=2, workers_per_process=4),
     "SMP+commthread": RunConfig(
         nnodes=2, workers_per_process=4, comm_threads_per_process=1
     ),
-}
+})
 
 FIG4_SIZES: Tuple[int, ...] = (16, 32, 128, 512, 2048, 8192, 32768, 131072)
 

@@ -31,7 +31,7 @@ __all__ = ["GATE_CONFIGS", "run_gate_config", "main"]
 
 #: The gate's traced configurations — miniature versions of the runs
 #: behind the trace figures, sized to keep the whole gate under ~1 min.
-GATE_CONFIGS = [
+GATE_CONFIGS = tuple([
     {
         "name": "gate_fig3_std",
         "label": "gate fig3 standard PME",
@@ -50,7 +50,7 @@ GATE_CONFIGS = [
         "kwargs": dict(n_atoms=256, nnodes=2, workers=4, comm_threads=2,
                        pme_every=2, use_m2m_pme=False, n_steps=3, seed=11),
     },
-]
+])
 
 
 def run_gate_config(cfg: Dict, outdir: pathlib.Path) -> str:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..bgq.params import BGQParams, CLOCK_HZ, DEFAULT_PARAMS
 from ..fft.pencil import choose_grid
 from .machine import node_issue_rate, per_thread_ipc
+from types import MappingProxyType
 
 __all__ = ["FFTModelConstants", "fft_step_time", "fft_table"]
 
@@ -145,11 +146,11 @@ def fft_step_time(
 
 #: The exact Table I cells from the paper, microseconds:
 #: {grid_n: {nodes: (p2p, m2m)}}
-PAPER_TABLE1 = {
+PAPER_TABLE1 = MappingProxyType({
     128: {64: (3030, 1826), 128: (2019, 1426), 256: (1930, 944), 512: (1785, 677), 1024: (1560, 583)},
     64: {64: (787, 507), 128: (731, 459), 256: (625, 268), 512: (625, 229), 1024: (621, 208)},
     32: {64: (457, 142), 128: (398, 127), 256: (379, 110), 512: (376, 93), 1024: (377, 74)},
-}
+})
 
 
 def fft_table(

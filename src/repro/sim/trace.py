@@ -27,6 +27,7 @@ import numpy as np
 
 from ..trace.core import Span, Tracer
 from .engine import Environment
+from types import MappingProxyType
 
 __all__ = ["Segment", "TimelineRecorder", "utilization_profile", "render_ascii_timeline"]
 
@@ -105,7 +106,7 @@ def utilization_profile(
     return out
 
 
-_GLYPHS = {
+_GLYPHS = MappingProxyType({
     "integrate": "R",  # red in the paper
     "nonbonded": "P",  # purple
     "bonded": "B",
@@ -115,7 +116,7 @@ _GLYPHS = {
     "sched": "s",
     "alloc": "a",
     "idle": ".",
-}
+})
 
 
 def render_ascii_timeline(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 from typing import Any, Dict, List, Optional
+from types import MappingProxyType
 
 __all__ = ["diff_manifests", "format_diff", "load_manifest"]
 
@@ -33,11 +34,11 @@ __all__ = ["diff_manifests", "format_diff", "load_manifest"]
 #: a contradiction in a deterministic DES — but high-water marks and
 #: round counts are legitimately sensitive to unrelated host-side
 #: ordering, so the gate ships looser defaults for them.
-DEFAULT_COUNTER_TOLS = {
+DEFAULT_COUNTER_TOLS = MappingProxyType({
     "hpm.mu.ififo_occupancy_hwm": 0.5,
     "hpm.mu.rfifo_occupancy_hwm": 0.5,
     "hpm.commthread.rounds": 0.25,
-}
+})
 
 
 def load_manifest(path: str) -> Dict[str, Any]:

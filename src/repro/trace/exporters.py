@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional
 
 from .core import Tracer, USEFUL_CATEGORIES
 from .provenance import build_messages, critical_path_summary, message_stats
+from types import MappingProxyType
 
 __all__ = [
     "to_chrome_trace",
@@ -44,7 +45,7 @@ __all__ = [
 #: Stable color names from the Chrome tracing palette, mapped so the
 #: exported timeline echoes the paper's legend (integrate=red,
 #: nonbonded=purple, pme/fft=green, comm/sched=grey tones, idle=white).
-_CHROME_COLORS = {
+_CHROME_COLORS = MappingProxyType({
     "integrate": "terrible",         # red
     "nonbonded": "vsync_highlight_color",  # purple-ish
     "bonded": "bad",
@@ -55,7 +56,7 @@ _CHROME_COLORS = {
     "sched": "generic_work",
     "alloc": "cq_build_attempt_failed",
     "idle": "white",
-}
+})
 
 
 def to_chrome_trace(

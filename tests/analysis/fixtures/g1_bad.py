@@ -1,0 +1,8 @@
+"""G1 fixture: module-level mutable bindings shared across Environments."""
+
+ROUTE_CACHE = {}  # bad: unfrozen dict, and written after import below
+PENDING = []  # bad: unfrozen list
+
+
+def remember(key, value):
+    ROUTE_CACHE[key] = value

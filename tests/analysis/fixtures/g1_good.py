@@ -1,0 +1,11 @@
+"""G1 fixture (clean): frozen module-level constants."""
+
+from types import MappingProxyType
+
+ROUTE_TABLE = MappingProxyType({"east": 1, "west": 2})
+SIZES = (16, 512, 8192)
+MODES = frozenset({"smp", "non-smp"})
+
+
+def lookup(key):
+    return ROUTE_TABLE[key]

@@ -1,0 +1,9 @@
+"""G2 fixture: rebinding module state through a global statement."""
+
+_counter = 0
+
+
+def next_uid():
+    global _counter  # bad: couples every caller in the process
+    _counter += 1
+    return _counter

@@ -1,0 +1,10 @@
+"""G2 fixture (clean): counter state owned by an instance."""
+
+
+class UidSource:
+    def __init__(self):
+        self.n = 0
+
+    def next_uid(self):
+        self.n += 1
+        return self.n

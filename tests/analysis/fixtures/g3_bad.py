@@ -1,0 +1,6 @@
+"""G3 fixture: class-level mutable attributes shared by all instances."""
+
+
+class Dispatcher:
+    handlers = []  # bad: one list shared by every Dispatcher
+    defaults = {"qos": 0}  # bad: one dict shared by every Dispatcher

@@ -1,0 +1,11 @@
+"""G3 fixture (clean): immutable class constants, per-instance state."""
+
+
+class Dispatcher:
+    MODES = ("eager", "rendezvous")  # fine: immutable tuple
+
+    def __init__(self):
+        self.handlers = []
+
+    def add(self, handler):
+        self.handlers.append(handler)

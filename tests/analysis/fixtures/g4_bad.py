@@ -1,0 +1,11 @@
+"""G4 fixture: instance method reaching a module-level registry.
+
+The binding itself also fires G1; G4 is about the method read.
+"""
+
+_ROUTES = {}
+
+
+class Router:
+    def route(self, key):
+        return _ROUTES[key]  # bad: behaviour tied to process-wide state

@@ -1,0 +1,8 @@
+"""...and the method that reaches it lives in a different module."""
+
+from g4_cross_state import SHARED_LOG
+
+
+class Recorder:
+    def record(self, entry):
+        SHARED_LOG.append(entry)  # bad: resolved through a one-hop import

@@ -1,0 +1,3 @@
+"""G4 cross-module fixture: the shared registry lives here..."""
+
+SHARED_LOG = []

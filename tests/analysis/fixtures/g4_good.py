@@ -1,0 +1,9 @@
+"""G4 fixture (clean): routes threaded through the constructor."""
+
+
+class Router:
+    def __init__(self, routes):
+        self._routes = dict(routes)
+
+    def route(self, key):
+        return self._routes[key]

@@ -1,0 +1,11 @@
+"""S1 fixture: registration conditioned on shard identity.
+
+In S-family scope through the import graph (imports repro.sim.shard).
+"""
+
+import repro.sim.shard  # noqa: F401
+
+
+def build(charm, shard_id):
+    if shard_id == 0:
+        charm.register_entry("patch.start")  # bad: ids diverge across shards

@@ -1,0 +1,8 @@
+"""S1 fixture (clean): one fixed registration order on every shard."""
+
+import repro.sim.shard  # noqa: F401
+
+
+def build(charm, shard_id):
+    charm.register_entry("patch.start")
+    charm.register_entry("patch.step")

@@ -1,0 +1,14 @@
+"""S2 fixture: unguarded PE seeding in a mirror builder.
+
+No SPMD import here on purpose: the test harness scopes this file via
+the ``spmd-paths`` config key (the other scoping mechanism).
+"""
+
+
+def build_mirror(rt, msg, rank):
+    rt.pes[rank].local_q.append(msg)  # bad: direct subscript receiver
+
+
+def seed_named(rt, msg, rank):
+    pe = rt.pes[rank]
+    pe.local_q.append(msg)  # bad: pe is None on non-owning shards

@@ -1,0 +1,14 @@
+"""S2 fixture (clean): both guarded-seeding idioms from shardbench."""
+
+
+def build_mirror(rt, msg, rank):
+    pe = rt.pes[rank]
+    if pe is not None:
+        pe.local_q.append(msg)
+
+
+def seed_early_exit(rt, msg, rank):
+    pe = rt.pes[rank]
+    if pe is None:
+        return
+    pe.local_q.append(msg)

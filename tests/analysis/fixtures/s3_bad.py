@@ -1,0 +1,11 @@
+"""S3 fixture: non-canonical same-timestamp sort keys.
+
+In S-family scope through the import graph (imports repro.bgq.shardnet).
+"""
+
+import repro.bgq.shardnet  # noqa: F401
+
+
+def merge(pending):
+    pending.sort(key=lambda m: m.t)  # bad: timestamp alone
+    return sorted(pending, key=lambda m: (m.t, m.node))  # bad: 2 components

@@ -1,0 +1,7 @@
+"""S3 fixture (clean): the canonical (t, node, n) tie-break key."""
+
+import repro.bgq.shardnet  # noqa: F401
+
+
+def merge(pending):
+    return sorted(pending, key=lambda m: (m.t, m.node, m.n))

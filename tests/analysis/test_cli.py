@@ -95,3 +95,57 @@ def test_explicit_path_argument(tmp_path):
     root = _project(tmp_path, {"good.py": "x = 1\n", "bad.py": BAD_SOURCE})
     assert main(["--root", str(root), "good.py"]) == 0
     assert main(["--root", str(root), "bad.py"]) == 1
+
+
+def test_unknown_rule_in_config_table_is_usage_error(tmp_path):
+    """A typo in [tool.repro-lint] rules must not silently disable a rule."""
+    root = _project(tmp_path, {"mod.py": "x = 1\n"}, extra_toml='rules = ["D2", "Q7"]\n')
+    with pytest.raises(SystemExit) as exc:
+        main(["--root", str(root)])
+    assert exc.value.code == 2
+
+
+def test_json_out_writes_report_file(tmp_path):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    out = root / "reports" / "lint.json"
+    assert main(["--root", str(root), "--json-out", str(out)]) == 1
+    data = json.loads(out.read_text())
+    assert data["files_analyzed"] == 1
+    assert data["violations"][0]["rule"] == "D2"
+    assert "cache_hits" in data
+
+
+def test_cache_hits_on_second_run(tmp_path):
+    root = _project(tmp_path, {"mod.py": BAD_SOURCE})
+    out = root / "lint.json"
+    main(["--root", str(root), "--json-out", str(out)])
+    assert json.loads(out.read_text())["cache_hits"] == 0
+    main(["--root", str(root), "--json-out", str(out)])
+    assert json.loads(out.read_text())["cache_hits"] >= 1
+    # --no-cache forces a cold run.
+    main(["--root", str(root), "--json-out", str(out), "--no-cache"])
+    assert json.loads(out.read_text())["cache_hits"] == 0
+
+
+def test_write_baseline_prunes_deleted_files(tmp_path, capsys):
+    root = _project(
+        tmp_path, {"mod.py": BAD_SOURCE, "gone.py": BAD_SOURCE}
+    )
+    assert main(["--root", str(root), "--write-baseline"]) == 0
+    (root / "gone.py").unlink()
+    capsys.readouterr()
+    assert main(["--root", str(root), "--write-baseline"]) == 0
+    assert "pruned 1 for missing file(s): gone.py" in capsys.readouterr().out
+    entries = json.loads((root / "lint-baseline.json").read_text())["entries"]
+    assert {e["path"] for e in entries} == {"mod.py"}
+
+
+def test_project_rules_report_through_cli(tmp_path, capsys):
+    """G findings surface in the CLI with their dotted symbols."""
+    root = _project(
+        tmp_path,
+        {"state.py": "CACHE = {}\n"},
+        extra_toml='rules = ["G1"]\nproject-paths = ["."]\nglobal-allow = []\n',
+    )
+    assert main(["--root", str(root)]) == 1
+    assert "state.CACHE" in capsys.readouterr().out

@@ -52,3 +52,50 @@ def test_accepts_any_iterable():
 
 def test_empty_input():
     assert _unique_by_identity([]) == []
+
+
+# -- G-family freeze sweep (whole-program pass true positives) -------------
+#
+# The G1 pass found two dozen module-level mutable tables shared by every
+# Environment in the process.  All were read-only in practice, but only
+# by convention; these tests pin the fix (frozen types) so a refactor
+# reintroducing a writable module global fails here, not in review.
+
+import dataclasses
+from types import MappingProxyType
+
+import pytest
+
+
+def test_default_params_is_frozen():
+    from repro.bgq.params import DEFAULT_PARAMS
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_PARAMS.base_ipc = 0.9
+
+
+def test_shared_constant_tables_reject_writes():
+    from repro.bgq.torus import PARTITION_SHAPES
+    from repro.charm.reduction import REDUCERS
+    from repro.faults.qos import QOS_NAMES
+    from repro.harness.pingpong import FIG4_MODES
+
+    for table in (PARTITION_SHAPES, REDUCERS, QOS_NAMES, FIG4_MODES):
+        assert isinstance(table, MappingProxyType)
+        with pytest.raises(TypeError):
+            table["leak"] = object()
+
+
+def test_gate_configs_is_immutable():
+    from repro.harness.tracegate import GATE_CONFIGS
+
+    assert isinstance(GATE_CONFIGS, tuple)
+
+
+def test_two_environments_do_not_share_params():
+    """dataclasses.replace gives a per-run copy; the default stays put."""
+    from repro.bgq.params import DEFAULT_PARAMS
+
+    mine = dataclasses.replace(DEFAULT_PARAMS, cores_per_node=8)
+    assert mine.cores_per_node == 8
+    assert DEFAULT_PARAMS.cores_per_node == 16

@@ -104,8 +104,19 @@ def test_baseline_round_trip(tmp_path):
     loaded = Baseline.load(path)
     assert loaded.fingerprints() == baseline.fingerprints()
     data = json.loads(path.read_text())
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["entries"][0]["rule"] == "D2"
+
+
+def test_baseline_loads_version_1_files(tmp_path):
+    """Pre-symbol baselines (version 1) stay readable after the bump."""
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        '{"version": 1, "entries": '
+        '[{"rule": "D2", "path": "mod.py", "text": "return random.random()"}]}'
+    )
+    loaded = Baseline.load(path)
+    assert loaded.fingerprints() == [("D2", "mod.py", "return random.random()")]
 
 
 def test_baseline_load_missing_file_is_empty(tmp_path):
