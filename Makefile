@@ -2,9 +2,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate iso-gate
+.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate iso-gate serve-gate
 
-tier1: test bench-gate trace-gate iso-gate lint  ## full tier-1 flow: tests + gates + lint
+tier1: test bench-gate trace-gate iso-gate serve-gate lint  ## full tier-1 flow: tests + gates + lint
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,13 @@ iso-gate:        ## concurrent-Environment isolation gate: N independent
                  ## G/S rule families); checked-engine mode catches protocol
                  ## violations the interleaving might expose
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.isogate
+
+serve-gate:      ## simulation-as-a-service gate: a synthetic many-client load
+                 ## (mixed iso-gate, sharded-PDES and perfmodel jobs across
+                 ## priorities and pacing) over one JobService process; every
+                 ## served job must checksum bit-identically to its solo run
+                 ## (ARCHITECTURE.md, "Simulation as a service")
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.servebench --json-out serve_report.json
 
 chaos:           ## chaos suite: pingpong/m2m/jacobi/lattice under seeded fault
                  ## profiles x delivery-QoS modes with the checked DES engine;

@@ -105,6 +105,11 @@ class Baseline:
         return cls(entries)
 
     def save(self, path: Path) -> None:
-        with open(path, "w") as f:
-            json.dump({"version": _VERSION, "entries": self.entries()}, f, indent=2)
-            f.write("\n")
+        from ..ioutil import atomic_write_json
+
+        atomic_write_json(
+            path,
+            {"version": _VERSION, "entries": self.entries()},
+            indent=2,
+            trailing_newline=True,
+        )

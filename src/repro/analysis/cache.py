@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..ioutil import atomic_write_text
 from .core import Violation
 
 __all__ = ["LintCache", "ruleset_key"]
@@ -124,7 +125,10 @@ class LintCache:
             "project": self._project,
         }
         try:
-            self.path.write_text(json.dumps(payload) + "\n")
+            # Atomic (temp + rename): two concurrent lint runs sharing
+            # one checkout can both flush without either reader ever
+            # seeing a truncated cache file.
+            atomic_write_text(self.path, json.dumps(payload) + "\n")
         except OSError:  # read-only checkout: caching is best-effort
             pass
         self._dirty = False

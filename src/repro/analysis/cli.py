@@ -215,8 +215,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stale_baseline": [list(fp) for fp in result.stale_baseline],
     }
     if args.json_out is not None:
+        from ..ioutil import atomic_write_text
+
         args.json_out.parent.mkdir(parents=True, exist_ok=True)
-        args.json_out.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_text(args.json_out, json.dumps(payload, indent=2) + "\n")
 
     if args.fmt == "json":
         print(json.dumps(payload, indent=2))

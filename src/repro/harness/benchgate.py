@@ -46,6 +46,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..converse import RunConfig
+from ..ioutil import atomic_write_json
 
 __all__ = [
     "GATE_BENCHMARKS",
@@ -55,6 +56,7 @@ __all__ = [
     "bench_fig10_window",
     "bench_pingpong_512n_sharded",
     "bench_fig3_m2m_128n_sharded",
+    "bench_serve_load",
     "run_gate",
     "machine_calibration",
     "compare_records",
@@ -251,6 +253,21 @@ def bench_fig3_m2m_128n_sharded(n_steps: int = 2) -> dict:
     )
 
 
+def bench_serve_load() -> dict:
+    """The simulation-as-a-service load (``make serve-gate``'s workload).
+
+    ``sim_times`` holds the per-job result checksums — deterministic
+    and machine-portable, so the record gates on them like any
+    simulated-time observable once a baseline containing this benchmark
+    exists.  Jobs/sec and p50/p99 latency are host-load-dependent and
+    land in ``metrics`` (reported, never gated).
+    """
+    from .servebench import bench_serve_load as _serve
+
+    rec = _serve(scale="full")
+    return _record(rec["wall_s"], rec["events"], rec["sim_times"], **rec["metrics"])
+
+
 # -- gate orchestration ----------------------------------------------------
 
 def run_gate(scale: str = "full") -> Dict[str, dict]:
@@ -274,6 +291,7 @@ def run_gate(scale: str = "full") -> Dict[str, dict]:
         "fig10_window": bench_fig10_window(),
         "pingpong_512n_sharded": bench_pingpong_512n_sharded(),
         "fig3_m2m_128n_sharded": bench_fig3_m2m_128n_sharded(),
+        "serve_load": bench_serve_load(),
     }
 
 
@@ -486,9 +504,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calibration_wall_s": round(calibration, 4),
         "benchmarks": benchmarks,
     }
-    with open(out, "w") as f:
-        json.dump(record, f, indent=2, sort_keys=True)
-        f.write("\n")
+    # Atomic write: a concurrent gate run (or a killed one) must not
+    # leave a truncated BENCH record in the committed trajectory.
+    atomic_write_json(out, record, indent=2, sort_keys=True, trailing_newline=True)
     print(f"bench-gate: wrote {out} ({total_wall:.1f}s total)")
     for name in benchmarks:
         b = benchmarks[name]

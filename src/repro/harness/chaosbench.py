@@ -530,8 +530,9 @@ def main(argv=None) -> int:
                 for r in results
             ],
         }
-        with open(args.json_out, "w") as fh:
-            json.dump(summary, fh, indent=2, default=repr)
+        from ..ioutil import atomic_write_json
+
+        atomic_write_json(args.json_out, summary, indent=2, default=repr)
         print(f"chaos: matrix summary written to {args.json_out}")
     return 1 if failures else 0
 

@@ -298,8 +298,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = isolation_gate(scale=args.scale)
     if args.json_out is not None:
+        from ..ioutil import atomic_write_text
+
         args.json_out.parent.mkdir(parents=True, exist_ok=True)
-        args.json_out.write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_text(args.json_out, json.dumps(report, indent=2) + "\n")
     bad = sorted(name for name, rec in report.items() if not rec["ok"])
     if bad:
         print(

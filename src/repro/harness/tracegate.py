@@ -96,8 +96,10 @@ def main(argv=None) -> int:
         fresh_path = run_gate_config(cfg, outdir)
         base_path = basedir / f"{cfg['name']}.manifest.json"
         if args.write_baselines:
+            from ..ioutil import atomic_write_text
+
             basedir.mkdir(parents=True, exist_ok=True)
-            base_path.write_text(pathlib.Path(fresh_path).read_text())
+            atomic_write_text(base_path, pathlib.Path(fresh_path).read_text())
             print(f"wrote baseline {base_path}")
             continue
         if not base_path.is_file():

@@ -1,0 +1,235 @@
+"""The job service: submit/status/cancel/stream over a worker pool.
+
+:class:`JobService` is the tentpole runtime — N independent simulation
+jobs multiplexed onto one process.  Architecture:
+
+* **submit** validates the :class:`~repro.serve.job.JobSpec`, mints a
+  job id, and pushes onto the :class:`~repro.serve.queue.JobQueue`
+  (priority heap; FIFO within a band).
+* **worker pool** — ``workers`` asyncio tasks pop jobs and execute
+  their :class:`~repro.serve.task.SimTask` in *cooperative slices*:
+  ``task.advance(spec.slice_events)`` then ``await asyncio.sleep(0)``,
+  so concurrent jobs interleave at slice granularity while each
+  Environment's internal event order is untouched (the iso-gate
+  property makes this bit-identical to solo execution).
+* **session mutex** — each job's ``mutex`` serializes lifecycle
+  transitions between its executing worker and control-plane calls
+  (``cancel``, ``close``); the stepping itself runs outside the lock so
+  cancel latency is one slice, not one job.
+* **streaming** — workers emit progress chunks (and, for traced jobs,
+  incremental manifest snapshots) into the job's chunk history;
+  :meth:`JobService.stream` replays history then follows live until the
+  terminal chunk.
+* **calibration cache** — a shared :class:`~repro.serve.cache.CalibrationCache`
+  handed to model tasks so repeated perfmodel submissions are memoized.
+
+Wall-clock policy: the service measures *host-side* latency (queue wait,
+slice scheduling) with ``time.monotonic`` — that is load telemetry, not
+simulation state, and never feeds back into an Environment.  Simulated
+results remain pure functions of (seed, config); ``make serve-gate``
+enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import traceback
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+from .cache import CalibrationCache
+from .job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    Job,
+    JobError,
+    JobSpec,
+)
+from .queue import JobQueue
+
+__all__ = ["JobService"]
+
+
+class JobService:
+    """Concurrent simulation-as-a-service runtime (one process, N jobs)."""
+
+    def __init__(self, workers: int = 4, clock=time.monotonic) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = int(workers)
+        self._clock = clock
+        self._queue = JobQueue()
+        self._jobs: Dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._worker_tasks: List[asyncio.Task] = []
+        self._started = False
+        self._closed = False
+        self.cache = CalibrationCache()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent; requires a running loop)."""
+        if self._started:
+            return
+        self._started = True
+        for wid in range(self.workers):
+            t = asyncio.ensure_future(self._worker(wid))
+            self._worker_tasks.append(t)
+
+    async def close(self, cancel_pending: bool = True) -> None:
+        """Drain (or cancel) outstanding work and stop the pool.
+
+        With ``cancel_pending`` (the default) queued jobs are cancelled
+        immediately and running jobs get a cancel request honoured at
+        their next slice boundary; otherwise the pool drains the queue
+        before exiting.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if cancel_pending:
+            for job in list(self._jobs.values()):
+                if not job.terminal:
+                    await self.cancel(job.id)
+        self._queue.close()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks)
+        self._worker_tasks = []
+
+    # -- control plane -----------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one job; returns its service-side record immediately."""
+        if self._closed:
+            raise JobError("service is closed")
+        if not callable(spec.build):
+            raise JobError(f"job {spec.name!r}: spec.build is not callable")
+        if spec.slice_events < 1:
+            raise JobError(f"job {spec.name!r}: slice_events must be >= 1")
+        seq = next(self._seq)
+        job = Job(f"{spec.name}-{seq:04d}", seq, spec, self._clock())
+        self._jobs[job.id] = job
+        job.emit({"type": "queued", "job": job.id, "priority": spec.priority})
+        self._queue.push(job)
+        return job
+
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobError(f"unknown job id {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._get(job_id).snapshot()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Snapshots of every known job, in submission order."""
+        return [j.snapshot() for j in sorted(self._jobs.values(), key=lambda j: j.seq)]
+
+    async def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True if the job will not produce a result.
+
+        Queued jobs finalize immediately (the queue discards them
+        lazily); running jobs are flagged and their worker honours the
+        flag at the next slice boundary.  Terminal jobs return False.
+        """
+        job = self._get(job_id)
+        async with job.mutex:
+            if job.terminal:
+                return False
+            job.cancel_requested = True
+            if job.state == RUNNING:
+                return True  # the executing worker owns the teardown
+            job.finalize(CANCELLED, self._clock(), error="cancelled while queued")
+            return True
+
+    async def join(self, *job_ids: str) -> List[Job]:
+        """Wait for the given jobs (all jobs when none named)."""
+        targets = [self._get(j) for j in job_ids] if job_ids else list(self._jobs.values())
+        await asyncio.gather(*(j.wait() for j in targets))
+        return targets
+
+    async def stream(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Yield the job's chunks: history first, then live to terminal."""
+        job = self._get(job_id)
+        # Snapshot history, then subscribe under the mutex so no chunk
+        # lands in the gap between replay and subscription.
+        async with job.mutex:
+            history = list(job.chunks)
+            live: Optional[asyncio.Queue] = None
+            if not job.terminal:
+                live = asyncio.Queue()
+                job._subs.append(live)
+        for chunk in history:
+            yield chunk
+        if live is None:
+            return
+        while True:
+            chunk = await live.get()
+            if chunk is None:
+                return
+            yield chunk
+
+    # -- data plane --------------------------------------------------------
+    async def _worker(self, wid: int) -> None:
+        while True:
+            job = await self._queue.pop()
+            if job is None:
+                return
+            await self._execute(job, wid)
+
+    async def _execute(self, job: Job, wid: int) -> None:
+        spec = job.spec
+        async with job.mutex:
+            if job.terminal:
+                return
+            if job.cancel_requested:
+                job.finalize(CANCELLED, self._clock(), error="cancelled while queued")
+                return
+            job.state = RUNNING
+            job.worker = wid
+            job.started_s = self._clock()
+        job.emit({"type": "running", "job": job.id, "worker": wid})
+
+        task = None
+        try:
+            task = spec.build(spec)
+            task.start()
+            slices = 0
+            while True:
+                if job.cancel_requested:
+                    task.stop()
+                    async with job.mutex:
+                        job.finalize(
+                            CANCELLED, self._clock(), error="cancelled while running"
+                        )
+                    return
+                if task.advance(spec.slice_events):
+                    break
+                slices += 1
+                if spec.stream_every and slices % spec.stream_every == 0:
+                    chunk = {"type": "progress", "job": job.id, **task.progress()}
+                    manifest = task.manifest()
+                    if manifest is not None:
+                        chunk["manifest"] = manifest
+                    job.emit(chunk)
+                # The cooperative yield: other jobs' slices run here.
+                await asyncio.sleep(0)
+            task.stop()
+            result = task.result()
+            checksum = task.checksum()
+            async with job.mutex:
+                job.finalize(DONE, self._clock(), result=result, checksum=checksum)
+        except Exception as exc:
+            if task is not None:
+                try:
+                    task.stop()
+                except Exception:
+                    pass  # teardown best-effort; the original error wins
+            err = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            async with job.mutex:
+                job.finalize(FAILED, self._clock(), error=err)

@@ -1,0 +1,71 @@
+"""Priority job queue for the service's worker pool.
+
+A thin asyncio wrapper over a binary heap of :class:`~repro.serve.job.Job`
+records ordered by ``(priority, submission seq)`` — smaller priority
+runs first, FIFO within a priority band.  The ordering lives on
+``Job.__lt__`` so the queue itself stays policy-free.
+
+Cancellation of *queued* jobs is handled lazily: the control plane
+finalizes the job in place and :meth:`pop` discards terminal entries
+when they surface, which keeps cancel O(1) instead of O(n) heap
+surgery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import List, Optional
+
+from .job import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Async priority queue of jobs (min-heap on ``(priority, seq)``)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Job] = []
+        self._nonempty = asyncio.Event()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, job: Job) -> None:
+        if self._closed:
+            raise RuntimeError("queue is closed")
+        heapq.heappush(self._heap, job)
+        self._nonempty.set()
+
+    async def pop(self) -> Optional[Job]:
+        """Next runnable job, or None once the queue is closed and drained.
+
+        Jobs already finalized while queued (lazy cancellation) are
+        skipped silently.
+        """
+        while True:
+            while self._heap:
+                job = heapq.heappop(self._heap)
+                if not self._heap:
+                    self._nonempty.clear()
+                if not job.terminal:
+                    return job
+            if self._closed:
+                return None
+            self._nonempty.clear()
+            waiter = asyncio.ensure_future(self._nonempty.wait())
+            try:
+                await waiter
+            finally:
+                waiter.cancel()
+
+    def close(self) -> None:
+        """Stop accepting work and wake blocked poppers."""
+        self._closed = True
+        self._nonempty.set()
+
+    def pending(self) -> List[Job]:
+        """Queued (non-terminal) jobs in execution order, for inspection."""
+        return sorted(j for j in self._heap if not j.terminal)

@@ -4,11 +4,24 @@ Determinism rule: every stochastic component draws from its own named
 stream derived from a single root seed, so adding a new component never
 perturbs the draws of existing ones, and a given root seed reproduces a
 bit-identical simulation.
+
+Reset semantics
+---------------
+Components are allowed to *cache* the ``Generator`` a registry hands
+out (``self._rng = registry.stream("link.0.1")`` at construction is the
+common shape).  :meth:`StreamRegistry.reset` therefore reseeds every
+existing generator **in place** — by replacing its bit-generator state
+— instead of dropping the mapping: dropping would leave every cached
+handle silently drawing from the stale pre-reset sequence, which is
+exactly how per-job reseeding fails on engine reuse (the serve job
+runtime resets a shared registry between jobs).  ``reset(root_seed=s)``
+additionally rebases the registry on a new root seed, which is the
+per-job path.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -22,17 +35,40 @@ class StreamRegistry:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
+    def _fresh_state(self, name: str) -> dict:
+        """Bit-generator state for ``name`` at the current root seed."""
+        seq = np.random.SeedSequence(
+            self.root_seed, spawn_key=tuple(name.encode("utf-8"))
+        )
+        return np.random.default_rng(seq).bit_generator.state
+
     def stream(self, name: str) -> np.random.Generator:
-        """Return (creating on first use) the stream for ``name``."""
+        """Return (creating on first use) the stream for ``name``.
+
+        The returned generator stays valid across :meth:`reset`: the
+        registry reseeds it in place rather than replacing it, so
+        holding on to the handle is safe.
+        """
         gen = self._streams.get(name)
         if gen is None:
-            seq = np.random.SeedSequence(
-                self.root_seed, spawn_key=tuple(name.encode("utf-8"))
-            )
-            gen = np.random.default_rng(seq)
+            # The OS-entropy seed never surfaces: the state is replaced
+            # with the seed-derived one before the generator is handed
+            # out (constructed unseeded only so reset() can later swap
+            # states in place without reallocating).
+            gen = np.random.default_rng()  # repro-lint: disable=D2
+            gen.bit_generator.state = self._fresh_state(name)
             self._streams[name] = gen
         return gen
 
-    def reset(self) -> None:
-        """Drop all streams (next access re-creates from the root seed)."""
-        self._streams.clear()
+    def reset(self, root_seed: Optional[int] = None) -> None:
+        """Rewind every stream to its seed-derived origin, in place.
+
+        Cached generator handles keep working — they resume from the
+        (possibly new) root seed, bit-identical to a freshly
+        constructed registry.  ``root_seed`` rebases the registry for
+        per-job reseeding; ``None`` keeps the current root seed.
+        """
+        if root_seed is not None:
+            self.root_seed = int(root_seed)
+        for name, gen in self._streams.items():
+            gen.bit_generator.state = self._fresh_state(name)

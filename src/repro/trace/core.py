@@ -51,14 +51,18 @@ __all__ = [
 
 
 class TracerProtocolError(RuntimeError):
-    """A span-protocol misuse caught under ``REPRO_SANITIZE=1``.
+    """A span/lifecycle-protocol misuse caught under ``REPRO_SANITIZE=1``.
 
     Raised when the flat :meth:`Tracer.begin` API preempts an activity
     owned by an active :meth:`Tracer.span` context manager — the mix
     that used to make the context-manager exit fabricate a resumed span
     over time the track had explicitly relinquished, double-counting it
-    as busy.  Outside sanitized runs the tracer self-heals instead (the
-    preempted context manager skips its resume).
+    as busy — and when any recording call lands on a tracer that
+    :meth:`Tracer.finish` already sealed (a cancelled job's late
+    callbacks would otherwise mutate data an exported manifest claims
+    is final).  Outside sanitized runs the tracer self-heals instead:
+    the preempted context manager skips its resume, and post-finish
+    recording is dropped.
     """
 
 #: Categories counted as "useful work" when computing utilization, as in
@@ -137,11 +141,29 @@ class Tracer:
         # construction; strict mode turns span-protocol misuse into
         # TracerProtocolError instead of self-healing.
         self._strict = enabled and os.environ.get("REPRO_SANITIZE") == "1"
+        # Set by finish(): the tracer is sealed — finish() is
+        # idempotent (finalizers run exactly once) and recording calls
+        # are rejected (strict) or dropped (self-heal).
+        self._finished = False
+
+    def _sealed(self, what: str) -> bool:
+        """True (and self-heal by dropping) if recording after finish."""
+        if not self._finished:
+            return False
+        if self._strict:
+            raise TracerProtocolError(
+                f"{what} on a finished Tracer — finish() sealed this "
+                "trace (its manifest may already be exported); a "
+                "cancelled or reused job must record into a fresh Tracer"
+            )
+        return True
 
     # -- instant events ----------------------------------------------------
     def mark(self, track: int, name: str) -> None:
         """Record a zero-duration instant event on ``track`` at ``now``."""
         if not self.enabled:
+            return
+        if self._finished and self._sealed("mark()"):
             return
         self.marks.append((track, name, self.env.now))
 
@@ -168,11 +190,15 @@ class Tracer:
         """Record the send edge of message ``msg_id`` from ``track``."""
         if not self.enabled:
             return
+        if self._finished and self._sealed("msg_send()"):
+            return
         self.provenance.append(("send", msg_id, track, dst, nbytes, self.env.now))
 
     def msg_recv(self, msg_id: Any, track: int) -> None:
         """Record message arrival at the destination track's queue."""
         if not self.enabled:
+            return
+        if self._finished and self._sealed("msg_recv()"):
             return
         self.provenance.append(("recv", msg_id, track, self.env.now))
 
@@ -180,12 +206,16 @@ class Tracer:
         """Record the handler-execution interval for ``msg_id``."""
         if not self.enabled:
             return
+        if self._finished and self._sealed("msg_exec()"):
+            return
         self.provenance.append(("exec", msg_id, track, start, end))
 
     # -- counters ---------------------------------------------------------
     def count(self, name: str, n: float = 1, track: Optional[int] = None) -> None:
         """Accumulate ``n`` into counter ``name`` (and a track bucket)."""
         if not self.enabled:
+            return
+        if self._finished and self._sealed("count()"):
             return
         counters = self.counters
         counters[name] = counters.get(name, 0) + n
@@ -210,6 +240,8 @@ class Tracer:
         """Start activity ``category`` on ``track``, closing any open one."""
         if not self.enabled:
             return
+        if self._finished and self._sealed("begin()"):
+            return
         self._begin(track, category, None)
 
     def _begin(self, track: int, category: str, owner: Optional[object]) -> None:
@@ -232,6 +264,8 @@ class Tracer:
         """Close the open activity on ``track`` (no-op if none)."""
         if not self.enabled:
             return
+        if self._finished and self._sealed("end()"):
+            return
         prev = self._open.pop(track, None)
         if prev is not None:
             cat, t0, _ = prev
@@ -242,6 +276,8 @@ class Tracer:
     def record(self, track: int, category: str, start: float, end: float) -> None:
         """Record a fully-known span directly."""
         if not self.enabled:
+            return
+        if self._finished and self._sealed("record()"):
             return
         if end < start:
             raise ValueError("span end precedes start")
@@ -259,6 +295,9 @@ class Tracer:
         timeline renderers and the Chrome exporter expect.
         """
         if not self.enabled:
+            yield
+            return
+        if self._finished and self._sealed("span()"):
             yield
             return
         prev = self._open.get(track)
@@ -303,11 +342,23 @@ class Tracer:
         self._finalizers.append(fn)
 
     def finish(self) -> None:
-        """Close all open spans and harvest component-maintained counters."""
+        """Close all open spans and harvest component-maintained counters.
+
+        Idempotent: the first call seals the tracer; later calls are
+        no-ops, so finalizers run exactly once no matter how many
+        teardown paths reach a job (normal completion, cancellation,
+        service shutdown).  After sealing, recording calls raise
+        :class:`TracerProtocolError` under ``REPRO_SANITIZE=1`` and are
+        silently dropped otherwise — an exported manifest stays the
+        final word on the run.
+        """
+        if self._finished:
+            return
         for track in list(self._open):
             self.end(track)
         self._nest.clear()
         if not self.enabled:
+            self._finished = True
             return
         # The DES engine counts processed events with a bare int (its
         # hottest loop; a tracer call there costs ~10% wall time).
@@ -316,6 +367,12 @@ class Tracer:
             self.counters["engine.events"] = n
         for fn in self._finalizers:
             fn()
+        self._finished = True
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has sealed this tracer."""
+        return self._finished
 
     # -- queries -----------------------------------------------------------
     def tracks(self) -> List[int]:

@@ -26,9 +26,9 @@ fields.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List, Optional
 
+from ..ioutil import atomic_write_json
 from .core import Tracer, USEFUL_CATEGORIES
 from .provenance import build_messages, critical_path_summary, message_stats
 from types import MappingProxyType
@@ -196,11 +196,15 @@ def write_chrome_trace(
     process_name: str = "repro",
     metadata: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Write :func:`to_chrome_trace` output as JSON; returns ``path``."""
+    """Write :func:`to_chrome_trace` output as JSON; returns ``path``.
+
+    The write is atomic (temp file + rename, :mod:`repro.ioutil`): a
+    cancelled job or a concurrent exporter never leaves a truncated
+    trace where a valid one stood.
+    """
     doc = to_chrome_trace(tracer, scale=scale, process_name=process_name,
                           metadata=metadata)
-    with open(path, "w") as fh:
-        json.dump(doc, fh)
+    atomic_write_json(path, doc)
     return path
 
 
@@ -320,11 +324,12 @@ def write_run_manifest(
     time_unit: str = "cycles",
     **meta: Any,
 ) -> str:
-    """Write :func:`run_manifest` as JSON; returns ``path``."""
-    with open(path, "w") as fh:
-        json.dump(
-            run_manifest(tracer, label=label, scale=scale, time_unit=time_unit, **meta),
-            fh,
-            indent=1,
-        )
+    """Write :func:`run_manifest` as JSON; returns ``path``.
+
+    Atomic (temp file + rename): mid-job cancellation or a concurrent
+    writer cannot corrupt a previously-exported manifest, and a
+    serialization failure aborts without touching the destination.
+    """
+    doc = run_manifest(tracer, label=label, scale=scale, time_unit=time_unit, **meta)
+    atomic_write_json(path, doc, indent=1)
     return path

@@ -1,0 +1,107 @@
+"""StreamRegistry reset semantics (the stale-cached-generator bugfix).
+
+Pre-fix behaviour: ``reset()`` *dropped* the name->Generator mapping,
+so the next ``stream(name)`` call built a fresh generator — but any
+component that had cached the old handle kept drawing from the stale,
+already-advanced sequence.  Per-job reseeding on engine reuse (the
+serve job runtime's pattern) therefore silently produced draws from
+the previous job's stream position.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import StreamRegistry
+
+
+def test_stream_is_deterministic_per_name():
+    a = StreamRegistry(42).stream("link.0.1")
+    b = StreamRegistry(42).stream("link.0.1")
+    assert a.uniform() == b.uniform()
+
+
+def test_streams_independent_by_name():
+    reg = StreamRegistry(42)
+    assert reg.stream("a").uniform() != reg.stream("b").uniform()
+
+
+def test_reset_rewinds_fresh_lookup():
+    """Post-reset lookup restarts the sequence (held pre-fix too)."""
+    reg = StreamRegistry(7)
+    first = reg.stream("x").uniform()
+    reg.stream("x").uniform()
+    reg.reset()
+    assert reg.stream("x").uniform() == first
+
+
+def test_reset_rewinds_cached_handle():
+    """THE pre-fix-failing case: a cached Generator must follow reset().
+
+    Before the fix reset() cleared the mapping, so ``cached`` kept
+    drawing from the stale pre-reset stream while new ``stream()``
+    calls drew the reseeded sequence — two components disagreeing on
+    the same named stream.
+    """
+    reg = StreamRegistry(7)
+    cached = reg.stream("x")  # component caches the handle at setup
+    first = cached.uniform()
+    cached.uniform()  # advance
+    reg.reset()
+    assert cached.uniform() == first
+    # And the cached handle is still THE registry stream, not a fork.
+    assert reg.stream("x") is cached
+
+
+def test_reset_with_new_root_seed_rebases_cached_handles():
+    """Per-job reseeding: reset(root_seed=s) == fresh registry at s."""
+    reg = StreamRegistry(1)
+    cached = reg.stream("job.rng")
+    cached.uniform()
+    reg.reset(root_seed=2)
+    expect = StreamRegistry(2).stream("job.rng")
+    assert cached.uniform() == expect.uniform()
+    assert [cached.integers(100) for _ in range(4)] == [
+        expect.integers(100) for _ in range(4)
+    ]
+    assert reg.root_seed == 2
+
+
+def test_reset_interleaved_jobs_bit_identical():
+    """Engine-reuse scenario: job A, reset to job B's seed, back to A.
+
+    Every replay of a seed must reproduce the exact draw sequence no
+    matter what ran before the reset.
+    """
+    reg = StreamRegistry(11)
+    gens = {name: reg.stream(name) for name in ("link.0.1", "rfifo.3.0")}
+
+    def run_job(seed, ndraws):
+        reg.reset(root_seed=seed)
+        return {n: [g.uniform() for _ in range(ndraws)] for n, g in gens.items()}
+
+    a1 = run_job(100, 5)
+    b = run_job(200, 3)
+    a2 = run_job(100, 5)
+    assert a1 == a2
+    assert b != a1
+
+
+def test_reset_preserves_numpy_generator_type():
+    reg = StreamRegistry(3)
+    gen = reg.stream("y")
+    reg.reset()
+    assert isinstance(gen, np.random.Generator)
+    # Full Generator API still works on the reseeded handle.
+    gen.exponential(2.0)
+    gen.integers(10)
+
+
+def test_new_stream_after_reset_matches_fresh_registry():
+    """A name first requested *after* a reseeding reset is also rebased."""
+    reg = StreamRegistry(5)
+    reg.stream("old").uniform()
+    reg.reset(root_seed=6)
+    assert (
+        reg.stream("brand.new").uniform()
+        == StreamRegistry(6).stream("brand.new").uniform()
+    )

@@ -1,0 +1,136 @@
+"""``Environment.run(until=Event)`` lifecycle edges.
+
+The serve job runtime leans on three run-loop edges that had no direct
+coverage: re-running until an already-processed event (a worker retries
+a finished job's done event), failed events that a waiter defused vs
+nobody consumed (cancelled-job teardown), and drain-then-resubmit reuse
+of one Environment (back-to-back jobs on a pooled engine).
+"""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def _ticker(env, done, ticks, dt=1.0):
+    def proc():
+        for _ in range(ticks):
+            yield env.timeout(dt)
+        done.succeed(ticks)
+
+    return env.process(proc())
+
+
+def test_run_until_already_processed_event_is_a_no_op():
+    """A second run(until=done) returns the value without stepping."""
+    env = Environment()
+    done = env.event()
+    _ticker(env, done, 5)
+    assert env.run(until=done) == 5
+    executed = env.events_executed
+    now = env.now
+    # More work is pending, but an already-processed `until` must not
+    # advance anything — the serve worker's double-check on a finished
+    # job's done event has to be side-effect free.
+    env.process((env.timeout(1.0) for _ in range(1)))
+    assert env.run(until=done) == 5
+    assert env.events_executed == executed
+    assert env.now == now
+
+
+def test_run_until_completes_past_defused_failure():
+    """An intermediate event that fails into a catching waiter (defused)
+    must not abort run(until=done)."""
+    env = Environment()
+    done = env.event()
+    doomed = env.event()
+    caught = []
+
+    def failer():
+        yield env.timeout(1.0)
+        doomed.fail(RuntimeError("link down"))
+
+    def waiter():
+        try:
+            yield doomed
+        except RuntimeError as exc:
+            caught.append(str(exc))
+        yield env.timeout(1.0)
+        done.succeed("recovered")
+
+    env.process(failer())
+    env.process(waiter())
+    assert env.run(until=done) == "recovered"
+    assert caught == ["link down"]
+    assert doomed.processed and not doomed.ok
+
+
+def test_run_until_propagates_undefused_failure():
+    """Nobody waiting on a failed event: the failure must surface from
+    run() rather than vanish (lost-error edge)."""
+    env = Environment()
+    done = env.event()
+    doomed = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        doomed.fail(RuntimeError("unconsumed"))
+
+    env.process(failer())
+    _ticker(env, done, 5)
+    with pytest.raises(RuntimeError, match="unconsumed"):
+        env.run(until=done)
+
+
+def test_run_until_pending_event_with_drained_queue_raises():
+    env = Environment()
+    never = env.event()
+    _ticker(env, env.event(), 2)
+    with pytest.raises(SimulationError, match="ran out of events"):
+        env.run(until=never)
+    assert not never.triggered
+
+
+def test_drain_then_resubmit_reuses_the_environment():
+    """One Environment, two back-to-back jobs: clock and event counter
+    carry forward, the second job runs exactly like the first."""
+    env = Environment()
+    first = env.event()
+    _ticker(env, first, 4)
+    assert env.run(until=first) == 4
+    t1, n1 = env.now, env.events_executed
+    assert t1 == 4.0
+
+    second = env.event()
+    _ticker(env, second, 3)
+    assert env.run(until=second) == 3
+    assert env.now == t1 + 3.0
+    assert env.events_executed > n1
+
+    # Full drain also leaves the env reusable.
+    env.run()
+    third = env.event()
+    _ticker(env, third, 2)
+    assert env.run(until=third) == 2
+
+
+def test_resubmit_after_drain_matches_fresh_environment_deltas():
+    """Engine reuse is observationally clean: the resubmitted job's
+    simulated-time and event-count *deltas* equal a fresh env's run."""
+    fresh = Environment()
+    fdone = fresh.event()
+    _ticker(fresh, fdone, 6, dt=0.5)
+    fresh.run(until=fdone)
+
+    reused = Environment()
+    warm = reused.event()
+    _ticker(reused, warm, 3, dt=2.0)
+    reused.run(until=warm)
+    reused.run()  # drain the warm job's leftovers before handing over
+    t0, n0 = reused.now, reused.events_executed
+    rdone = reused.event()
+    _ticker(reused, rdone, 6, dt=0.5)
+    reused.run(until=rdone)
+
+    assert reused.now - t0 == fresh.now
+    assert reused.events_executed - n0 == fresh.events_executed
