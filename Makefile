@@ -2,9 +2,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate iso-gate serve-gate
+.PHONY: tier1 test lint trace-test trace-demo trace-gate bench bench-gate chaos shard-gate iso-gate serve-gate obs-gate
 
-tier1: test bench-gate trace-gate iso-gate serve-gate lint  ## full tier-1 flow: tests + gates + lint
+tier1: test bench-gate trace-gate iso-gate serve-gate obs-gate lint  ## full tier-1 flow: tests + gates + lint
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,14 @@ serve-gate:      ## simulation-as-a-service gate: a synthetic many-client load
                  ## served job must checksum bit-identically to its solo run
                  ## (ARCHITECTURE.md, "Simulation as a service")
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.harness.servebench --json-out serve_report.json
+
+obs-gate:        ## host-side observability gate: profiled runs of the gated
+                 ## benchmarks must checksum bit-identically to unprofiled runs
+                 ## and the committed BENCH record (cycle neutrality), profiling
+                 ## overhead must stay within budget, and hotspot attribution
+                 ## must stay concentrated and stable vs the committed baseline
+                 ## (docs/OBSERVABILITY.md)
+	$(PYTHON) -m repro.harness.obsgate --json-out benchmarks/output/obsgate_report.json
 
 chaos:           ## chaos suite: pingpong/m2m/jacobi/lattice under seeded fault
                  ## profiles x delivery-QoS modes with the checked DES engine;

@@ -44,6 +44,17 @@ _DEFAULT_TRACE_HOT_PATHS = (
     "src/repro/queues.py",
     "src/repro/faults",
 )
+#: Engine hot paths where O1 (profiler/metrics recording must be
+#: None-guarded) applies.  The serve layer is deliberately absent:
+#: metrics recording there is unconditional by design.
+_DEFAULT_OBS_HOT_PATHS = (
+    "src/repro/converse",
+    "src/repro/pami",
+    "src/repro/bgq",
+    "src/repro/sim",
+    "src/repro/queues.py",
+    "src/repro/faults",
+)
 _DEFAULT_PROJECT_PATHS = ("src/repro",)
 #: Dotted symbols exempt from G1 (deliberate globals).  Mirrors the
 #: shipped pyproject table, where each entry carries its justification.
@@ -74,6 +85,9 @@ class Config:
     #: Transport/runtime trees where F2 (best-effort QoS branches must
     #: not touch seq/pending reliable-transport state) applies.
     qos_paths: Tuple[str, ...] = _DEFAULT_QOS_PATHS
+    #: Engine hot-path modules where O1 (profiler/metrics recording
+    #: must be None-guarded, the obs zero-cost contract) applies.
+    obs_hot_paths: Tuple[str, ...] = _DEFAULT_OBS_HOT_PATHS
     #: Trees the whole-program pass (ProjectContext, G/S families)
     #: covers.  Entries may be directories or single files.
     project_paths: Tuple[str, ...] = _DEFAULT_PROJECT_PATHS
@@ -126,6 +140,8 @@ def load_config(root: Optional[Path] = None) -> Config:
         cfg.trace_hot_paths = tuple(table["trace-hot-paths"])
     if "qos-paths" in table:
         cfg.qos_paths = tuple(table["qos-paths"])
+    if "obs-hot-paths" in table:
+        cfg.obs_hot_paths = tuple(table["obs-hot-paths"])
     if "project-paths" in table:
         cfg.project_paths = tuple(table["project-paths"])
     if "global-allow" in table:

@@ -106,6 +106,7 @@ def all_rule_classes() -> Dict[str, Type["Rule"]]:
         rules_determinism,
         rules_faults,
         rules_global,
+        rules_obs,
         rules_protocol,
         rules_spmd,
         rules_trace,

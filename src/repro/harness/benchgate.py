@@ -43,7 +43,7 @@ import pathlib
 import re
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..converse import RunConfig
 from ..ioutil import atomic_write_json
@@ -57,6 +57,7 @@ __all__ = [
     "bench_pingpong_512n_sharded",
     "bench_fig3_m2m_128n_sharded",
     "bench_serve_load",
+    "gate_runners",
     "run_gate",
     "machine_calibration",
     "compare_records",
@@ -270,6 +271,32 @@ def bench_serve_load() -> dict:
 
 # -- gate orchestration ----------------------------------------------------
 
+def gate_runners(scale: str = "full") -> Dict[str, "Callable[[], dict]"]:
+    """Zero-arg runners for the three :data:`GATE_BENCHMARKS`, by name.
+
+    The single source of truth for what "run ``pingpong`` at ``scale``"
+    means: :func:`run_gate` composes these into the regression record,
+    and ``repro.harness.obsgate`` replays the *same* runners off/on
+    under profiling — so the obs-gate's cycle-neutrality claim is about
+    exactly the workloads the BENCH trajectory gates, not lookalikes.
+    """
+    if scale == "tiny":
+        return {
+            "pingpong": lambda: bench_pingpong(trips=6),
+            "fig3_m2m": lambda: bench_fig3_m2m(
+                n_steps=1, n_atoms=256, nnodes=2, workers=1, comm_threads=1
+            ),
+            "fig10_window": lambda: bench_fig10_window(
+                n_steps=1, n_atoms=256, nnodes=1, workers=2, comm_threads=1
+            ),
+        }
+    return {
+        "pingpong": bench_pingpong,
+        "fig3_m2m": bench_fig3_m2m,
+        "fig10_window": bench_fig10_window,
+    }
+
+
 def run_gate(scale: str = "full") -> Dict[str, dict]:
     """Run every gated benchmark; ``scale="tiny"`` for fast self-tests.
 
@@ -277,22 +304,12 @@ def run_gate(scale: str = "full") -> Dict[str, dict]:
     large-node sharded-engine runs (they are recorded and compared like
     any other benchmark once a baseline containing them exists).
     """
-    if scale == "tiny":
-        return {
-            "pingpong": bench_pingpong(trips=6),
-            "fig3_m2m": bench_fig3_m2m(n_steps=1, n_atoms=256, nnodes=2, workers=1,
-                                       comm_threads=1),
-            "fig10_window": bench_fig10_window(n_steps=1, n_atoms=256, nnodes=1,
-                                               workers=2, comm_threads=1),
-        }
-    return {
-        "pingpong": bench_pingpong(),
-        "fig3_m2m": bench_fig3_m2m(),
-        "fig10_window": bench_fig10_window(),
-        "pingpong_512n_sharded": bench_pingpong_512n_sharded(),
-        "fig3_m2m_128n_sharded": bench_fig3_m2m_128n_sharded(),
-        "serve_load": bench_serve_load(),
-    }
+    out = {name: run() for name, run in gate_runners(scale).items()}
+    if scale != "tiny":
+        out["pingpong_512n_sharded"] = bench_pingpong_512n_sharded()
+        out["fig3_m2m_128n_sharded"] = bench_fig3_m2m_128n_sharded()
+        out["serve_load"] = bench_serve_load()
+    return out
 
 
 def find_bench_files(root: pathlib.Path) -> List[pathlib.Path]:

@@ -39,8 +39,10 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import percentile
 from ..serve import DONE, EnvTask, JobService, JobSpec, ModelTask, ShardedTask
 from .isogate import IsoInstance, gate_workloads
+from .report import format_serve_metrics
 
 __all__ = [
     "SLICE_CYCLE",
@@ -201,21 +203,24 @@ def solo_checksums(
     return out
 
 
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 1]); 0.0 on empty input."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[idx]
+# Back-compat alias: the nearest-rank formula moved to
+# repro.obs.metrics.percentile so the serve latency Histogram and this
+# gate literally share it (gate numbers and live metrics cannot
+# disagree; tests/serve/test_metrics.py asserts the equality).
+_percentile = percentile
 
 
 async def _drive_load(
     scale: str,
     workers: int,
     repeats: int,
-) -> Tuple[List[Any], float, Dict[str, Any]]:
-    """Submit repeats x workloads to a fresh service; return jobs, wall, cache."""
+) -> Tuple[List[Any], float, JobService]:
+    """Submit repeats x workloads to a fresh service.
+
+    Returns (jobs, wall seconds, the closed service) — the service
+    comes back so callers can read its metrics registry: the latency
+    histogram *is* the source of the gate's p50/p99.
+    """
     service = JobService(workers=workers)
     # Built against the live service so model jobs share its
     # calibration cache (the solo oracle pass builds uncached).
@@ -236,13 +241,16 @@ async def _drive_load(
             jobs.append(service.submit(spec))
     await service.join()
     wall_s = time.perf_counter() - t0
-    cache_stats = service.cache.stats()
     await service.close()
-    return jobs, wall_s, cache_stats
+    return jobs, wall_s, service
 
 
 def run_serve_load(
-    scale: str = "full", workers: int = 4, repeats: int = 2
+    scale: str = "full",
+    workers: int = 4,
+    repeats: int = 2,
+    metrics_out: Optional[Path] = None,
+    prom_out: Optional[Path] = None,
 ) -> Dict[str, Any]:
     """The benchmark body: solo oracle pass, then the served load.
 
@@ -251,18 +259,31 @@ def run_serve_load(
         {"njobs", "workers", "wall_s", "jobs_per_sec",
          "latency_p50_s", "latency_p99_s", "cache": {...},
          "events": total engine events across jobs,
+         "serve_metrics": live-metrics snapshot (JobService.metrics),
          "jobs": {job_id: {"name", "state", "checksum", "solo",
                            "ok", "latency_s"}}}
+
+    ``latency_p50_s``/``latency_p99_s`` are read from the service's
+    ``serve.latency_s`` Histogram, not recomputed from the job list —
+    the gate number and the live metric are one code path.
+    ``metrics_out``/``prom_out`` additionally write the snapshot as
+    JSON / Prometheus text exposition (atomic).
     """
     # The oracle pass builds model tasks uncached (service=None): served
     # cache hits must still match the uncached solo evaluation.
     solo = solo_checksums(serve_workloads(scale))
 
-    jobs, wall_s, cache_stats = asyncio.run(
+    jobs, wall_s, service = asyncio.run(
         _drive_load(scale, workers, repeats)
     )
+    cache_stats = service.cache.stats()
+    latency_hist = service.metrics.get("serve.latency_s")
+    serve_metrics = service.metrics_snapshot()
+    if metrics_out is not None:
+        service.metrics.write_json(metrics_out)
+    if prom_out is not None:
+        service.metrics.write_prometheus(prom_out)
 
-    latencies = [j.latency_s() for j in jobs if j.latency_s() is not None]
     report_jobs: Dict[str, Any] = {}
     events = 0
     for job in jobs:
@@ -284,19 +305,31 @@ def run_serve_load(
         "workers": workers,
         "wall_s": round(wall_s, 4),
         "jobs_per_sec": round(len(jobs) / wall_s, 2) if wall_s > 0 else 0.0,
-        "latency_p50_s": round(_percentile(latencies, 0.50), 4),
-        "latency_p99_s": round(_percentile(latencies, 0.99), 4),
+        "latency_p50_s": round(latency_hist.percentile(0.50), 4),
+        "latency_p99_s": round(latency_hist.percentile(0.99), 4),
         "cache": cache_stats,
         "events": events,
+        "serve_metrics": serve_metrics,
         "jobs": report_jobs,
     }
 
 
 def serve_gate(
-    scale: str = "full", workers: int = 4, repeats: int = 2, verbose: bool = True
+    scale: str = "full",
+    workers: int = 4,
+    repeats: int = 2,
+    verbose: bool = True,
+    metrics_out: Optional[Path] = None,
+    prom_out: Optional[Path] = None,
 ) -> Tuple[List[str], Dict[str, Any]]:
     """Run the load and gate it; returns (failures, report)."""
-    report = run_serve_load(scale=scale, workers=workers, repeats=repeats)
+    report = run_serve_load(
+        scale=scale,
+        workers=workers,
+        repeats=repeats,
+        metrics_out=metrics_out,
+        prom_out=prom_out,
+    )
     failures: List[str] = []
     if report["njobs"] < 8:
         failures.append(
@@ -329,6 +362,9 @@ def serve_gate(
             f"p99 {report['latency_p99_s']:.3f}s  "
             f"cache {cache['hits']}h/{cache['misses']}m"
         )
+        summary = format_serve_metrics(report.get("serve_metrics"))
+        if summary:
+            print(summary)
     return failures, report
 
 
@@ -382,10 +418,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json-out", type=Path, default=None,
         help="write the full load report to this file",
     )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write the live-metrics snapshot (JSON) to this file",
+    )
+    parser.add_argument(
+        "--prom-out", type=Path, default=None,
+        help="write the metrics as Prometheus text exposition",
+    )
     args = parser.parse_args(argv)
 
+    for path in (args.metrics_out, args.prom_out):
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
     failures, report = serve_gate(
-        scale=args.scale, workers=args.workers, repeats=args.repeats
+        scale=args.scale,
+        workers=args.workers,
+        repeats=args.repeats,
+        metrics_out=args.metrics_out,
+        prom_out=args.prom_out,
     )
     if args.json_out is not None:
         from ..ioutil import atomic_write_text

@@ -156,14 +156,17 @@ class Job:
         result: Optional[Dict[str, Any]] = None,
         checksum: Optional[str] = None,
         error: Optional[str] = None,
-    ) -> None:
+    ) -> bool:
         """Enter a terminal state exactly once; later calls are no-ops.
 
         Mirrors the ``Tracer.finish()`` contract: a cancelled job can be
-        reached by both the worker and the shutdown sweep.
+        reached by both the worker and the shutdown sweep.  Returns
+        whether *this* call performed the transition — the service keys
+        its terminal metrics (completion counters, latency histogram)
+        off that, so double finalization can never double-count.
         """
         if self.terminal:
-            return
+            return False
         self.state = state
         self.finished_s = now_s
         self.result = result
@@ -179,6 +182,7 @@ class Job:
         self.emit(final)
         self._close_streams()
         self._done.set()
+        return True
 
     async def wait(self) -> "Job":
         """Block until the job reaches a terminal state."""
@@ -191,6 +195,18 @@ class Job:
         if self.finished_s is None:
             return None
         return self.finished_s - self.submitted_s
+
+    def wait_s(self) -> Optional[float]:
+        """Queue wait: submit-to-running latency (None while queued).
+
+        Jobs that finalize without ever running (cancelled while
+        queued) keep ``started_s is None`` and report no wait — the
+        per-priority wait histogram only describes jobs a worker
+        actually picked up.
+        """
+        if self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly status record (the ``status`` API payload)."""
@@ -206,4 +222,5 @@ class Job:
             "checksum": self.checksum,
             "error": self.error,
             "latency_s": self.latency_s(),
+            "wait_s": self.wait_s(),
         }

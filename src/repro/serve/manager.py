@@ -28,6 +28,16 @@ slice scheduling) with ``time.monotonic`` — that is load telemetry, not
 simulation state, and never feeds back into an Environment.  Simulated
 results remain pure functions of (seed, config); ``make serve-gate``
 enforces exactly that.
+
+Operational metrics: every service owns a
+:class:`~repro.obs.metrics.MetricsRegistry` (``service.metrics``) fed at
+the submit/pop/slice/finalize choke points — queue depth, per-priority
+queue wait, slice duration, worker busy/idle split, cancels, completion
+counters by terminal state, and end-to-end latency.  The latency
+histogram is *the* source for servebench's p50/p99 (the gate number and
+the live metric share one code path); :meth:`JobService.metrics_snapshot`
+adds the cache gauges and returns the JSON snapshot.  Catalog in
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ import time
 import traceback
 from typing import Any, AsyncIterator, Dict, List, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .cache import CalibrationCache
 from .job import (
     CANCELLED,
@@ -51,6 +62,28 @@ from .job import (
 from .queue import JobQueue
 
 __all__ = ["JobService"]
+
+#: Slice-duration buckets (seconds): one cooperative slice is a few
+#: hundred engine events (~ms) up to a whole sharded window.
+SLICE_BUCKETS_S = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
+#: Per-slice event-count buckets: slice_events cycles 32..256 in the
+#: servebench load, but sharded windows can run far past the bound.
+SLICE_EVENT_BUCKETS = (32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
 
 
 class JobService:
@@ -68,6 +101,50 @@ class JobService:
         self._started = False
         self._closed = False
         self.cache = CalibrationCache()
+        #: Live operational metrics (instance-owned: concurrent
+        #: services never share counters).  Instruments are declared up
+        #: front so a snapshot of an idle service already carries the
+        #: full catalog with zeroes.
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "serve.jobs.submitted", "Jobs accepted by submit()"
+        )
+        self._m_completed = m.counter(
+            "serve.jobs.completed",
+            "Jobs reaching a terminal state, by state",
+            labels=("state",),
+        )
+        self._m_cancels = m.counter(
+            "serve.cancel.requests", "cancel() calls against non-terminal jobs"
+        )
+        self._m_depth = m.gauge(
+            "serve.queue.depth", "Runnable jobs waiting in the priority queue"
+        )
+        self._m_wait = m.histogram(
+            "serve.queue.wait_s",
+            "Submit-to-running queue wait, by priority band",
+            labels=("priority",),
+        )
+        self._m_slice = m.histogram(
+            "serve.slice.duration_s",
+            "Host wall time of one cooperative task.advance() slice",
+            buckets=SLICE_BUCKETS_S,
+        )
+        self._m_slice_events = m.histogram(
+            "serve.slice.events",
+            "Engine events actually advanced in one slice",
+            buckets=SLICE_EVENT_BUCKETS,
+        )
+        self._m_latency = m.histogram(
+            "serve.latency_s", "Submit-to-terminal job latency"
+        )
+        self._m_busy = m.counter(
+            "serve.worker.busy_s", "Wall time spent executing jobs", labels=("worker",)
+        )
+        self._m_idle = m.counter(
+            "serve.worker.idle_s", "Wall time spent waiting on the queue", labels=("worker",)
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -113,6 +190,8 @@ class JobService:
         self._jobs[job.id] = job
         job.emit({"type": "queued", "job": job.id, "priority": spec.priority})
         self._queue.push(job)
+        self._m_submitted.inc()
+        self._m_depth.set(len(self._queue))
         return job
 
     def _get(self, job_id: str) -> Job:
@@ -140,9 +219,10 @@ class JobService:
             if job.terminal:
                 return False
             job.cancel_requested = True
+            self._m_cancels.inc()
             if job.state == RUNNING:
                 return True  # the executing worker owns the teardown
-            job.finalize(CANCELLED, self._clock(), error="cancelled while queued")
+            self._finalize(job, CANCELLED, error="cancelled while queued")
             return True
 
     async def join(self, *job_ids: str) -> List[Job]:
@@ -172,13 +252,58 @@ class JobService:
                 return
             yield chunk
 
+    # -- metrics -----------------------------------------------------------
+    def _finalize(self, job: Job, state: str, **kw: Any) -> None:
+        """Terminal transition plus metrics, in one place.
+
+        Callers hold ``job.mutex``.  The completion counter and latency
+        histogram key off :meth:`Job.finalize`'s return value, so a job
+        racing two finalizers (worker vs shutdown sweep) is counted by
+        whichever call actually performed the transition — never both.
+        """
+        if job.finalize(state, self._clock(), **kw):
+            self._m_completed.labels(state=state).inc()
+            latency = job.latency_s()
+            if latency is not None:
+                self._m_latency.observe(latency)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Refresh the sampled gauges and return the registry snapshot.
+
+        Queue depth and the calibration-cache gauges are *read* here
+        rather than pushed from the cache (the cache predates the
+        metrics layer and stays dependency-free); everything else in
+        the snapshot was recorded live at the choke points.
+        """
+        self._m_depth.set(len(self._queue))
+        stats = self.cache.stats()
+        m = self.metrics
+        m.gauge("serve.cache.entries", "Calibration cache entries").set(
+            stats["entries"]
+        )
+        m.gauge("serve.cache.hits", "Calibration cache hits").set(stats["hits"])
+        m.gauge("serve.cache.misses", "Calibration cache misses").set(
+            stats["misses"]
+        )
+        m.gauge("serve.cache.hit_rate", "Calibration cache hit ratio").set(
+            stats["hit_rate"]
+        )
+        return m.snapshot()
+
     # -- data plane --------------------------------------------------------
     async def _worker(self, wid: int) -> None:
+        idle = self._m_idle.labels(worker=wid)
+        busy = self._m_busy.labels(worker=wid)
         while True:
+            t0 = self._clock()
             job = await self._queue.pop()
+            t1 = self._clock()
+            idle.inc(t1 - t0)
             if job is None:
                 return
+            self._m_depth.set(len(self._queue))
             await self._execute(job, wid)
+            busy.inc(self._clock() - t1)
 
     async def _execute(self, job: Job, wid: int) -> None:
         spec = job.spec
@@ -186,11 +311,12 @@ class JobService:
             if job.terminal:
                 return
             if job.cancel_requested:
-                job.finalize(CANCELLED, self._clock(), error="cancelled while queued")
+                self._finalize(job, CANCELLED, error="cancelled while queued")
                 return
             job.state = RUNNING
             job.worker = wid
             job.started_s = self._clock()
+        self._m_wait.labels(priority=spec.priority).observe(job.wait_s())
         job.emit({"type": "running", "job": job.id, "worker": wid})
 
         task = None
@@ -202,15 +328,25 @@ class JobService:
                 if job.cancel_requested:
                     task.stop()
                     async with job.mutex:
-                        job.finalize(
-                            CANCELLED, self._clock(), error="cancelled while running"
+                        self._finalize(
+                            job, CANCELLED, error="cancelled while running"
                         )
                     return
-                if task.advance(spec.slice_events):
+                ev0 = task.events()
+                s0 = self._clock()
+                finished = task.advance(spec.slice_events)
+                self._m_slice.observe(self._clock() - s0)
+                self._m_slice_events.observe(task.events() - ev0)
+                if finished:
                     break
                 slices += 1
                 if spec.stream_every and slices % spec.stream_every == 0:
-                    chunk = {"type": "progress", "job": job.id, **task.progress()}
+                    chunk = {
+                        "type": "progress",
+                        "job": job.id,
+                        "queue_depth": len(self._queue),
+                        **task.progress(),
+                    }
                     manifest = task.manifest()
                     if manifest is not None:
                         chunk["manifest"] = manifest
@@ -221,7 +357,7 @@ class JobService:
             result = task.result()
             checksum = task.checksum()
             async with job.mutex:
-                job.finalize(DONE, self._clock(), result=result, checksum=checksum)
+                self._finalize(job, DONE, result=result, checksum=checksum)
         except Exception as exc:
             if task is not None:
                 try:
@@ -232,4 +368,4 @@ class JobService:
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
             async with job.mutex:
-                job.finalize(FAILED, self._clock(), error=err)
+                self._finalize(job, FAILED, error=err)

@@ -54,6 +54,15 @@ class SimTask(Protocol):
     def progress(self) -> Dict[str, Any]:
         """Cheap in-flight observables for stream chunks."""
 
+    def events(self) -> int:
+        """Cumulative engine events executed so far (0 for model jobs).
+
+        The service reads this before/after each slice to feed the
+        per-slice event-throughput histogram — ``advance(max_events)``
+        is a *bound*, not a promise (sharded tasks run whole windows),
+        so the metric reports what actually happened.
+        """
+
     def checksum(self) -> str:
         """Bit-exact digest of the completed run."""
 
@@ -132,6 +141,9 @@ class EnvTask:
             "events": self.env.events_executed,
             "sim_now": self.env.now,
         }
+
+    def events(self) -> int:
+        return self.env.events_executed
 
     def checksum(self) -> str:
         return result_checksum(self.result())
@@ -231,6 +243,9 @@ class ShardedTask:
             "windows": self.windows_run,
         }
 
+    def events(self) -> int:
+        return sum(env.events_executed for env in self.shards)
+
     def checksum(self) -> str:
         payload = self.result()
         # Windows-run is a coordinator artifact, not a sim observable:
@@ -291,6 +306,9 @@ class ModelTask:
 
     def progress(self) -> Dict[str, Any]:
         return {"ran": self._ran}
+
+    def events(self) -> int:
+        return 0
 
     def checksum(self) -> str:
         return result_checksum(self.result())

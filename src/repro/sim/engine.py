@@ -63,6 +63,8 @@ from __future__ import annotations
 import heapq
 import os
 from collections import deque
+from time import perf_counter_ns
+from types import FunctionType as _FunctionType, MethodType as _MethodType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -77,6 +79,15 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+#: Construction hook for the engine hotspot profiler (``repro.obs``).
+#: Single slot so installation is one list write, not a module
+#: rebinding; ``ProfileSession`` sets ``[0]`` to a factory called with
+#: each new :class:`Environment` and clears it on exit.  Tooling-only
+#: state: it is read exactly once per Environment construction and
+#: never influences scheduling, so concurrent-instance isolation is
+#: unaffected (allowlisted in ``[tool.repro-lint] global-allow``).
+_PROFILER_FACTORY: list = [None]
 
 
 class SimulationError(RuntimeError):
@@ -451,6 +462,13 @@ class Environment:
         "_active_process",
         "events_executed",
         "tracer",
+        "profiler",
+        "_profile",
+        "_pacc",
+        "_ppend",
+        "_pskip",
+        "_prng",
+        "_pmod",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -475,6 +493,39 @@ class Environment:
         #: Optional repro.trace.Tracer; None when tracing is off (the
         #: runtime wires it, see ConverseRuntime).
         self.tracer = None
+        #: Optional repro.obs.EngineProfiler; None when profiling is
+        #: off (the hard zero-cost switch, mirroring ``tracer``).  An
+        #: active :class:`repro.obs.ProfileSession` attaches one at
+        #: construction; profiling only *measures* — simulated times
+        #: stay bit-identical (``make obs-gate`` proves it).
+        factory = _PROFILER_FACTORY[0]
+        if factory is None:
+            self.profiler = None
+            self._profile = False
+            self._pacc = None
+            self._ppend = None
+            self._pskip = 0
+            self._prng = 0
+            self._pmod = 1
+        else:
+            prof = factory(self)
+            self.profiler = prof
+            self._profile = True
+            # Direct slot references into the profiler's accumulator
+            # and pending-charge cell: one load each on the profiled
+            # hot path instead of two attribute hops per event.
+            self._pacc = prof.acc
+            self._ppend = prof.pend
+            # Sampling state, inlined into slots so the profiled step
+            # never makes a Python call to draw the next gap: _pskip is
+            # the countdown to the next sample (1 → the very first step
+            # samples and opens the first interval), _prng/_pmod the
+            # LCG state and gap modulus (gaps are 1 + x % _pmod, i.e.
+            # uniform on [1, 2*stride-1], mean = stride; _pmod == 1 is
+            # exact per-event mode).  Mirrors EngineProfiler.next_gap.
+            self._pskip = 1
+            self._prng = prof._rng
+            self._pmod = (2 * prof.stride - 1) if prof.stride > 1 else 1
 
     # -- clock ---------------------------------------------------------
     @property
@@ -526,6 +577,8 @@ class Environment:
         """Process exactly one event (the globally next in (time, seq))."""
         if self._sanitize:
             return self._step_checked()
+        if self._profile:
+            return self._step_profiled()
         imm = self._imm
         q = self._queue
         if imm:
@@ -600,6 +653,148 @@ class Environment:
         finally:
             self._stepping = False
 
+    def _step_profiled(self) -> None:
+        """Profiled step: identical pop order, plus hotspot attribution.
+
+        Like :meth:`_step_checked`, this duplicates the merge logic of
+        :meth:`step` so the unprofiled hot loop stays exactly as
+        benchmarked.  The ≤5% overhead budget (``make obs-gate``)
+        shapes everything here:
+
+        * **Deterministic stride sampling.**  Per-event keying costs
+          several hundred ns in CPython — an order of magnitude over
+          budget on a ~µs dispatch — so only *sampled* events are
+          keyed and timed; the rest run the plain ``step()`` body plus
+          one countdown decrement.  Sample gaps come from
+          ``EngineProfiler.next_gap()`` (a seeded LCG over the event
+          index: deterministic per run, and jittered so periodic
+          workloads cannot alias with the stride).  ``stride=1``
+          degenerates to exact per-event attribution.
+        * **Interval charging, one clock read per sample.**  The read
+          at the top of a sampled step closes the interval opened at
+          the previous sample: its wall time, its event count (exact —
+          every event lands in exactly one interval) and its pop-site
+          split are charged to the *previous* sampled event's key, the
+          classic sampling-profiler attribution.  The final interval
+          is settled by ``EngineProfiler.flush()`` at export.
+        * **Bounded keys.**  Keying on the raw callback would make the
+          accumulator grow with *events*, not code: callable instances
+          (``_FirstWake``-style one-shot wakers) are constructed per
+          event.  Methods and plain functions are long-lived (or
+          hash-equal across rebinds) and keep per-owner granularity;
+          anything else degrades to its class.
+        * **No name resolution.**  ``repro.obs.profiler`` resolves and
+          normalizes owner names at export time; the accumulator value
+          layout it owns is ``[count, nanos, deque_pops, heap_pops,
+          span_first, span_last]``, where the span fields correlate the
+          site with :mod:`repro.trace` span ids (a span's id is its
+          index in ``tracer.spans``) when a tracer is live.
+
+        Only host wall time is *read*: pop order, timestamps and
+        callback execution are byte-for-byte those of :meth:`step`,
+        which is why profiled runs checksum bit-identically to
+        unprofiled ones.
+        """
+        skip = self._pskip - 1
+        if skip > 0:
+            # Non-sampled event: the plain step() body verbatim, plus
+            # one countdown write — the whole point of sampling is that
+            # this path costs a few nanoseconds, not a dict lookup.
+            self._pskip = skip
+            imm = self._imm
+            q = self._queue
+            if imm:
+                if q and q[0] < imm[0]:
+                    when, _, event = heapq.heappop(q)
+                else:
+                    when, _, event = imm.popleft()
+            elif q:
+                when, _, event = heapq.heappop(q)
+            else:
+                raise SimulationError("step() on empty event queue")
+            self._now = when
+            self.events_executed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            if callbacks is not None:
+                for cb in callbacks:
+                    cb(event)
+            if event._exc is not None and not event._defused:
+                raise event._exc
+            return
+        # Sampled event: settle the interval pending since the last
+        # sample, then key this event and open a new interval.
+        t = perf_counter_ns()
+        ev = self.events_executed
+        pend = self._ppend  # [key, t0_ns, site, span_first, span_last, ev0]
+        key = pend[0]
+        if key is not None:
+            acc = self._pacc
+            rec = acc.get(key)
+            if rec is None:
+                acc[key] = rec = [0, 0, 0, 0, -1, -1]
+            gap = ev - pend[5]
+            rec[0] += gap
+            rec[1] += t - pend[1]
+            rec[pend[2]] += gap
+            if pend[3] >= 0:
+                if rec[4] < 0:
+                    rec[4] = pend[3]
+                rec[5] = pend[4]
+        x = (self._prng * 1103515245 + 12345) & 0x7FFFFFFF
+        self._prng = x
+        self._pskip = 1 + x % self._pmod
+        imm = self._imm
+        q = self._queue
+        if imm:
+            if q and q[0] < imm[0]:
+                when, _, event = heapq.heappop(q)
+                site = 3
+            else:
+                when, _, event = imm.popleft()
+                site = 2
+        elif q:
+            when, _, event = heapq.heappop(q)
+            site = 3
+        else:
+            raise SimulationError("step() on empty event queue")
+        self._now = when
+        self.events_executed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = _PROCESSED
+        if callbacks:
+            cb0 = callbacks[0]
+            kind = cb0.__class__
+            if kind is not _MethodType and kind is not _FunctionType:
+                cb0 = kind
+        else:
+            cb0 = None
+        pend[0] = (event.__class__, cb0)
+        pend[1] = t
+        pend[2] = site
+        pend[5] = ev
+        tracer = self.tracer
+        if tracer is None:
+            pend[3] = -1
+            if callbacks is not None:
+                for cb in callbacks:
+                    cb(event)
+        else:
+            nspan = len(tracer.spans)
+            if callbacks is not None:
+                for cb in callbacks:
+                    cb(event)
+            closed = len(tracer.spans)
+            if closed > nspan:
+                pend[3] = nspan
+                pend[4] = closed - 1
+            else:
+                pend[3] = -1
+        if event._exc is not None and not event._defused:
+            raise event._exc
+
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the given time or event; returns the event's value.
 
@@ -624,7 +819,14 @@ class Environment:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
-        step = self.step
+        # Bind the variant once: skipping the per-event dispatch hop in
+        # step() is worth ~100ns/event, a real fraction of the profiled
+        # path's ≤5% budget.  step() itself still dispatches for direct
+        # callers; _sanitize wins when both are set (step()'s order).
+        if self._profile and not self._sanitize:
+            step = self._step_profiled
+        else:
+            step = self.step
         imm = self._imm
         q = self._queue
         if stop_event is None and stop_time == _INF:
@@ -653,7 +855,10 @@ class Environment:
         of events is *not* an error here: under sharding, a drained
         shard simply waits at the window boundary for neighbour traffic.
         """
-        step = self.step
+        if self._profile and not self._sanitize:
+            step = self._step_profiled
+        else:
+            step = self.step
         imm = self._imm
         q = self._queue
         while imm or q:

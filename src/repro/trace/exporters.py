@@ -96,7 +96,11 @@ def to_chrome_trace(
                 "args": {"name": tracer.label_of(track)},
             }
         )
-    for s in tracer.spans:
+    # A span's id is its index in tracer.spans — the same id the obs
+    # profiler records as span_first/span_last on its dispatch-site
+    # nodes, so a hotspot in `repro.obs` cross-references straight to
+    # the timeline rows it covers.
+    for span_id, s in enumerate(tracer.spans):
         ev: Dict[str, Any] = {
             "name": s.category,
             "cat": s.category,
@@ -105,6 +109,7 @@ def to_chrome_trace(
             "dur": s.duration * scale,
             "pid": 0,
             "tid": s.track,
+            "args": {"span_id": span_id},
         }
         color = _CHROME_COLORS.get(s.category)
         if color is not None:

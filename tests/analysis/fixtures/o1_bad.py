@@ -1,0 +1,25 @@
+"""O1 fixture: unguarded profiler/metrics recording on the hot path."""
+
+
+class Dispatcher:
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.profiler = None
+        self.metrics = None
+
+    def step(self, event):
+        prof = self.runtime.profiler
+        prof.sample(event)  # bad: no `is not None` guard
+        self.profiler.charge(event, 12)  # bad: attribute receiver, unguarded
+
+    def account(self, event, profiler):
+        if profiler is not None:
+            profiler.sample(event)
+        else:
+            profiler.flush()  # bad: guarded branch is the OTHER one
+
+    def record(self, event):
+        self.metrics.observe(1.5)  # bad: metric mutation, no guard
+
+    def tally(self, metrics):
+        metrics.inc()  # bad: no guard anywhere

@@ -1,0 +1,36 @@
+"""O1 fixture: properly guarded obs calls (and non-obs lookalikes)."""
+
+
+class Dispatcher:
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.profiler = None
+        self.metrics = None
+
+    def step(self, event):
+        prof = self.runtime.profiler
+        if prof is not None:
+            prof.sample(event)
+            prof.charge(event, 12)
+
+    def account(self, event):
+        if self.profiler is not None and event is not None:
+            self.profiler.sample(event)
+
+    def poll(self, profiler):
+        if profiler is None:
+            return
+        profiler.next_gap()
+
+    def record(self, metrics):
+        metrics is not None and metrics.observe(1.5)
+
+    def export(self, profiler, metrics):
+        # Aggregation/export methods run once per session, off the hot
+        # path, and stay unflagged.
+        profiler.total_nanos()
+        metrics.snapshot()
+
+    def wake(self, queue):
+        # Not an obs name: `set` on other receivers stays unflagged.
+        queue.set(7)

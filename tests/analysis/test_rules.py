@@ -204,3 +204,56 @@ def test_t1_clean_on_the_runtime_tree():
     result = analyzer.run(cfg.trace_hot_paths, exclude=cfg.exclude)
     t1 = [v for v in result.violations if v.rule == "T1"]
     assert t1 == [], [v.format() for v in t1]
+
+
+# -- O1: profiler/metrics calls in engine hot paths must be None-guarded ---
+#
+# O1 is path-scoped like T1 (it applies inside the configured
+# obs-hot-paths), so its fixture pair is mapped into scope explicitly.
+
+
+def _analyze_o1(filename):
+    from repro.analysis.config import Config
+
+    cfg = Config(obs_hot_paths=("o1_bad.py", "o1_good.py"))
+    analyzer = Analyzer(FIXTURES, default_rules(cfg), baseline=None)
+    return analyzer.analyze_file(FIXTURES / filename).violations
+
+
+def test_o1_fires_on_unguarded_obs_calls():
+    violations = _analyze_o1("o1_bad.py")
+    assert {v.rule for v in violations} == {"O1"}
+    # prof.sample + self.profiler.charge + else-branch flush +
+    # self.metrics.observe + metrics.inc
+    assert len(violations) == 5
+
+
+def test_o1_silent_on_guarded_calls():
+    violations = _analyze_o1("o1_good.py")
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_o1_scoped_to_engine_hot_paths():
+    """O1 covers the engine tree but not the obs/serve packages."""
+    from repro.analysis.config import load_config
+
+    rules = default_rules(load_config(Path(__file__).parents[2]))
+    o1 = next(r for r in rules if r.id == "O1")
+    assert o1.applies_to("src/repro/sim/engine.py")
+    assert o1.applies_to("src/repro/bgq/mu.py")
+    assert o1.applies_to("src/repro/converse/machine.py")
+    assert not o1.applies_to("src/repro/obs/profiler.py")
+    assert not o1.applies_to("src/repro/serve/manager.py")
+    assert not o1.applies_to("src/repro/harness/obsgate.py")
+
+
+def test_o1_clean_on_the_engine_tree():
+    """The shipped hot paths satisfy their own contract (self-check)."""
+    from repro.analysis.config import load_config
+
+    root = Path(__file__).parents[2]
+    cfg = load_config(root)
+    analyzer = Analyzer(root, default_rules(cfg), baseline=None)
+    result = analyzer.run(cfg.obs_hot_paths, exclude=cfg.exclude)
+    o1 = [v for v in result.violations if v.rule == "O1"]
+    assert o1 == [], [v.format() for v in o1]

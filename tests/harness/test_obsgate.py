@@ -1,0 +1,99 @@
+"""Obs-gate self-tests (tiny scale) and baseline-diff logic."""
+
+import pytest
+
+from repro.harness.obsgate import (
+    BASELINE_TOP,
+    baseline_summary,
+    _check_baseline,
+    main as obsgate_main,
+    obs_gate,
+)
+from repro.obs import Profile
+
+
+def fake_profile(label, owner="Process._resume:pe*"):
+    return Profile(
+        label,
+        [
+            {"event_type": "Timeout", "owner": owner, "count": 90,
+             "nanos": 9000, "deque_pops": 0, "heap_pops": 90,
+             "span_first": -1, "span_last": -1},
+            {"event_type": "Event", "owner": "(no-callback)", "count": 10,
+             "nanos": 1000, "deque_pops": 10, "heap_pops": 0,
+             "span_first": -1, "span_last": -1},
+        ],
+        envs=1,
+    )
+
+
+@pytest.mark.slow
+def test_obs_gate_tiny_passes_with_loose_budget():
+    failures, notes, report, profiles = obs_gate(
+        scale="tiny", budget=10.0, verbose=False
+    )
+    assert failures == [], failures
+    assert report["pass"] is True
+    assert set(report["benchmarks"]) == {"pingpong", "fig3_m2m", "fig10_window"}
+    for name, entry in report["benchmarks"].items():
+        # checksum recorded and identical across off/on reps (else the
+        # gate would have failed above)
+        assert entry["checksum"]
+        assert entry["coverage_top10"] >= 0.80
+        assert entry["profiled_events"] > 0
+        assert entry["best_ratio"] == min(entry["ratios"])
+    assert profiles["pingpong"].total_count > 0
+
+
+@pytest.mark.slow
+def test_obs_gate_cli_tiny(tmp_path, capsys):
+    rc = obsgate_main([
+        "--scale", "tiny",
+        "--budget", "10.0",
+        "--baseline", str(tmp_path / "hotspots.json"),
+        "--write-baseline",
+        "--profile-dir", str(tmp_path / "profiles"),
+        "--json-out", str(tmp_path / "report.json"),
+    ])
+    assert rc == 0
+    assert (tmp_path / "hotspots.json").exists()
+    assert (tmp_path / "report.json").exists()
+    assert (tmp_path / "profiles" / "hotspots_pingpong.json").exists()
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_baseline_summary_shape():
+    summary = baseline_summary({"pingpong": fake_profile("pingpong")}, "t")
+    entry = summary["benchmarks"]["pingpong"]
+    assert entry["total_events"] == 100
+    assert len(entry["top"]) <= BASELINE_TOP
+    assert entry["top"][0]["owner"] == "Process._resume:pe*"
+    assert entry["top"][0]["share"] == pytest.approx(0.9)
+
+
+def test_check_baseline_gates_top_site_identity():
+    baseline = baseline_summary({"pingpong": fake_profile("pingpong")})
+    failures, notes = [], []
+    _check_baseline(
+        baseline, {"pingpong": fake_profile("now")}, failures, notes
+    )
+    assert failures == []
+    assert any("top site" in n for n in notes)
+
+    # The dominant site vanishing is a hard failure...
+    failures, notes = [], []
+    _check_baseline(
+        baseline,
+        {"pingpong": fake_profile("now", owner="Somewhere.else")},
+        failures,
+        notes,
+    )
+    assert len(failures) == 1
+    assert "absent" in failures[0]
+
+    # ...but a benchmark missing from the run is only a note.
+    failures, notes = [], []
+    _check_baseline(baseline, {}, failures, notes)
+    assert failures == []
+    assert any("not in this run" in n for n in notes)

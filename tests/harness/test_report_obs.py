@@ -1,0 +1,96 @@
+"""Report formatters for the obs surfaces.
+
+Contract: when the obs layer is absent (no snapshot, no profile), both
+formatters return the empty string so existing report output stays
+byte-identical.
+"""
+
+from repro.harness.report import format_hotspot_summary, format_serve_metrics
+
+
+SNAPSHOT = {
+    "serve.queue.depth": {
+        "kind": "gauge",
+        "help": "jobs queued",
+        "series": [{"labels": {}, "value": 0.0}],
+    },
+    "serve.jobs.completed": {
+        "kind": "counter",
+        "help": "jobs by terminal state",
+        "series": [
+            {"labels": {"state": "done"}, "value": 5.0},
+            {"labels": {"state": "cancelled"}, "value": 1.0},
+        ],
+    },
+    "serve.latency_s": {
+        "kind": "histogram",
+        "help": "submit-to-done latency",
+        "series": [
+            {"labels": {}, "count": 6, "sum": 1.2, "p50": 0.18345,
+             "p99": 0.41019, "buckets": [], "inf": 6}
+        ],
+    },
+    "serve.cache.hit_rate": {
+        "kind": "gauge",
+        "help": "cache hit rate",
+        "series": [{"labels": {}, "value": 0.75}],
+    },
+}
+
+PROFILE = {
+    "schema": 1,
+    "label": "pingpong",
+    "total_nanos": 2_500_000,
+    "nodes": [
+        {"event_type": "Timeout", "owner": "Process._resume:pe*",
+         "count": 9000, "nanos": 2_000_000, "share": 0.8},
+        {"event_type": "Event", "owner": "(no-callback)",
+         "count": 1000, "nanos": 500_000, "share": 0.2},
+    ],
+}
+
+
+# -- byte-stability when obs is absent ---------------------------------
+
+
+def test_serve_metrics_absent_is_empty_string():
+    assert format_serve_metrics(None) == ""
+    assert format_serve_metrics({}) == ""
+
+
+def test_hotspot_summary_absent_is_empty_string():
+    assert format_hotspot_summary(None) == ""
+    assert format_hotspot_summary({}) == ""
+    assert format_hotspot_summary({"schema": 1, "nodes": []}) == ""
+
+
+# -- rendering ---------------------------------------------------------
+
+
+def test_serve_metrics_renders_all_sections():
+    text = format_serve_metrics(SNAPSHOT)
+    lines = text.splitlines()
+    assert "serve queue depth: 0" in lines[0]
+    assert "done=5, cancelled=1" in lines[1]
+    assert "p50 0.1835s p99 0.4102s over 6 jobs" in lines[2]
+    assert "serve cache hit rate: 75.0%" in lines[3]
+
+
+def test_serve_metrics_skips_missing_metrics():
+    partial = {"serve.queue.depth": SNAPSHOT["serve.queue.depth"]}
+    text = format_serve_metrics(partial)
+    assert text == "serve queue depth: 0"
+
+
+def test_hotspot_summary_top_lines():
+    text = format_hotspot_summary(PROFILE)
+    lines = text.splitlines()
+    assert lines[0] == "engine hotspots (pingpong, 2.5 ms attributed):"
+    assert "80.0%" in lines[1] and "Timeout/Process._resume:pe*" in lines[1]
+    assert "(9,000 events)" in lines[1]
+    assert "20.0%" in lines[2] and "Event/(no-callback)" in lines[2]
+
+
+def test_hotspot_summary_respects_top():
+    text = format_hotspot_summary(PROFILE, top=1)
+    assert len(text.splitlines()) == 2  # header + one site
